@@ -1,0 +1,75 @@
+"""Benchmarks for the DESIGN.md §6 design-choice ablations."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    run_adaptive_lambda_ablation,
+    run_cutoff_slope_ablation,
+    run_full_transfer_parameter_ablation,
+    run_push_vs_pushpull_ablation,
+    run_summation_cost_ablation,
+)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_push_vs_pushpull(benchmark, save_rendering):
+    result = benchmark.pedantic(
+        run_push_vs_pushpull_ablation,
+        kwargs={"n_hosts": 4000, "rounds": 40, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    save_rendering("ablation_push_vs_pushpull", result.render())
+    print("\n" + result.render())
+    # Push/pull converges at least as fast as push-only (paper: ~2x faster).
+    assert result.outcomes["pushpull"] <= result.outcomes["push"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_adaptive_lambda(benchmark, save_rendering):
+    result = benchmark.pedantic(
+        run_adaptive_lambda_ablation,
+        kwargs={"n_hosts": 4000, "rounds": 60, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    save_rendering("ablation_adaptive_lambda", result.render())
+    print("\n" + result.render())
+    assert set(result.outcomes) == {"fixed", "adaptive"}
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_full_transfer_parameters(benchmark, save_rendering):
+    result = benchmark.pedantic(
+        run_full_transfer_parameter_ablation,
+        kwargs={"n_hosts": 3000, "rounds": 60, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    save_rendering("ablation_full_transfer_parameters", result.render())
+    print("\n" + result.render())
+    # A longer estimation history lowers the plateau for the same parcels.
+    assert result.outcomes["N=4, T=3"] <= result.outcomes["N=4, T=1"] + 0.5
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_cutoff_slope(benchmark, save_rendering):
+    result = benchmark.pedantic(
+        run_cutoff_slope_ablation,
+        kwargs={"n_hosts": 3000, "rounds": 40, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    save_rendering("ablation_cutoff_slope", result.render())
+    print("\n" + result.render())
+    assert all(np.isfinite(value) for value in result.outcomes.values())
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_summation_cost(benchmark, save_rendering):
+    result = benchmark.pedantic(run_summation_cost_ablation, rounds=1, iterations=1)
+    save_rendering("ablation_summation_cost", result.render())
+    print("\n" + result.render())
+    # Invert-Average is cheaper per sum once the sketch is amortised.
+    assert result.outcomes["ratio"] > 1.0

@@ -1,0 +1,48 @@
+"""Benchmarks for the extension experiments (DESIGN.md §6)."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    render_departure_comparison,
+    render_extrema_comparison,
+    run_departure_comparison,
+    run_extrema_comparison,
+)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_extension_graceful_vs_silent_departure(benchmark, save_rendering):
+    result = benchmark.pedantic(
+        run_departure_comparison,
+        kwargs={"n_hosts": 400, "rounds": 50, "departure_round": 15, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    rendering = render_departure_comparison(result)
+    save_rendering("extension_departure", rendering)
+    print("\n" + rendering)
+    # Graceful sign-off never hurts, and it rescues the protocols that cannot
+    # forget on their own.
+    static = result.final_errors["push-sum (static)"]
+    sketch = result.final_errors["count-sketch-reset"]
+    assert sketch["graceful"] <= sketch["silent"] + 1e-6
+    # The reverting protocol recovers either way.
+    revert = result.final_errors["push-sum-revert (lambda=0.1)"]
+    assert revert["silent"] < static["silent"]
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_extension_extrema_freshness(benchmark, save_rendering):
+    result = benchmark.pedantic(
+        run_extrema_comparison,
+        kwargs={"n_hosts": 300, "rounds": 60, "departure_round": 15, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    rendering = render_extrema_comparison(result)
+    save_rendering("extension_extrema", rendering)
+    print("\n" + rendering)
+    # The static maximum survives its owner's departure forever; the
+    # freshness-limited variant re-converges to the surviving maximum.
+    assert result.static_final() > 0.0
+    assert result.reset_final() < result.static_final()

@@ -1,0 +1,45 @@
+"""Benchmark: Figure 9 — dynamic sketch counting under failure.
+
+Paper setup: 100 000 hosts each holding 1, half removed after 20 rounds;
+naive sketch counting versus Count-Sketch-Reset with cutoff 7 + k/4.
+Scaled setup: 5 000 hosts, 32 bins.  Expected shape: the naive sketch's
+error jumps to ≈ the removed population and stays there; Count-Sketch-Reset
+returns to a small error within ~10 rounds.
+"""
+
+import pytest
+
+from repro.experiments.fig9_counting_failure import render_fig9, run_fig9
+
+N_HOSTS = 5000
+ROUNDS = 40
+FAILURE_ROUND = 20
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_counting_under_failure(benchmark, save_rendering):
+    result = benchmark.pedantic(
+        run_fig9,
+        kwargs={
+            "n_hosts": N_HOSTS,
+            "rounds": ROUNDS,
+            "failure_round": FAILURE_ROUND,
+            "bins": 32,
+            "bits": 20,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rendering = render_fig9(result)
+    save_rendering("fig9", rendering)
+    print("\n" + rendering)
+
+    removed = N_HOSTS // 2
+    # Naive counting never forgets the failed half.
+    assert result.naive_final_error() > 0.5 * removed
+    # Count-Sketch-Reset recovers to well under the removed population…
+    assert result.limited_final_error() < 0.2 * removed
+    # …within roughly ten rounds of the failure (paper: "within 10 rounds").
+    recovery = result.recovery_rounds(0.2 * removed)
+    assert recovery is not None and recovery <= 15

@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These are genuine pytest-benchmark timings (many iterations) of the hot
+paths: one agent-engine gossip round, one vectorised kernel step, one
+counter-matrix merge and one FM-sketch estimate.  They exist so performance
+regressions in the substrate are visible independently of the figure
+experiments.
+"""
+
+import pytest
+
+from repro.baselines import PushSum
+from repro.core import CountSketchReset, PushSumRevert
+from repro.environments import UniformEnvironment
+from repro.simulator import Simulation
+from repro.simulator.vectorized import VectorizedCountSketchReset, VectorizedPushSumRevert
+from repro.sketches import CounterMatrix, FMSketch
+from repro.workloads import uniform_values
+
+
+@pytest.mark.benchmark(group="micro-engine")
+def test_engine_round_push_sum_exchange(benchmark):
+    values = uniform_values(500, seed=1)
+    simulation = Simulation(
+        PushSumRevert(0.01), UniformEnvironment(500), values, seed=1, mode="exchange"
+    )
+    benchmark(simulation.step)
+
+
+@pytest.mark.benchmark(group="micro-engine")
+def test_engine_round_push_sum_push_mode(benchmark):
+    values = uniform_values(500, seed=1)
+    simulation = Simulation(PushSum(), UniformEnvironment(500), values, seed=1, mode="push")
+    benchmark(simulation.step)
+
+
+@pytest.mark.benchmark(group="micro-engine")
+def test_engine_round_count_sketch_reset(benchmark):
+    simulation = Simulation(
+        CountSketchReset(bins=32, bits=20),
+        UniformEnvironment(200),
+        [1.0] * 200,
+        seed=1,
+        mode="exchange",
+    )
+    benchmark(simulation.step)
+
+
+@pytest.mark.benchmark(group="micro-vectorized")
+def test_vectorized_push_sum_step(benchmark):
+    kernel = VectorizedPushSumRevert(uniform_values(50000, seed=1), 0.01, seed=1)
+    benchmark(kernel.step)
+
+
+@pytest.mark.benchmark(group="micro-vectorized")
+def test_vectorized_count_sketch_step(benchmark):
+    kernel = VectorizedCountSketchReset(20000, bins=32, bits=20, seed=1)
+    benchmark(kernel.step)
+
+
+@pytest.mark.benchmark(group="micro-sketch")
+def test_counter_matrix_merge(benchmark):
+    a = CounterMatrix.for_value("a", 50, bins=64, bits=24)
+    b = CounterMatrix.for_value("b", 50, bins=64, bits=24)
+    a.increment()
+    b.increment()
+    benchmark(a.merge_min, b)
+
+
+@pytest.mark.benchmark(group="micro-sketch")
+def test_fm_sketch_estimate(benchmark):
+    sketch = FMSketch(bins=64, bits=24)
+    sketch.insert_many(("item", i) for i in range(2000))
+    benchmark(sketch.estimate)

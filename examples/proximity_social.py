@@ -1,0 +1,104 @@
+"""Proximity-aware social networking (the paper's motivating application).
+
+Wireless media players export the owner's average song rating.  As people
+move around — forming small groups at work, dispersing at night, gathering
+for events — each device maintains two running estimates *about its current
+group*:
+
+* the group's average song rating (Push-Sum-Revert), which a stationary
+  device (a bar, a store) could use to pick ambient music;
+* the group's size (Count-Sketch-Reset with 100 identifiers per device),
+  which a social application could use to steer users towards busy areas.
+
+Mobility is driven by a synthetic Haggle-like contact trace (9 devices over
+a couple of days); errors are measured against each device's own group,
+exactly as in the paper's Figure 11.
+
+Run it with::
+
+    python examples/proximity_social.py
+"""
+
+import numpy as np
+
+from repro import CountSketchReset, PushSumRevert, Simulation, TraceEnvironment
+from repro.analysis import render_series_table
+from repro.mobility import generate_haggle_like_trace
+from repro.workloads import clustered_values
+
+N_DEVICES = 9
+TRACE_HOURS = 36.0
+ROUND_SECONDS = 30.0
+
+
+def hourly(series, rounds_per_hour):
+    """Aggregate a per-round series into hourly means."""
+    values = np.asarray(series, dtype=float)
+    return [
+        float(np.nanmean(values[start : start + rounds_per_hour]))
+        for start in range(0, len(values), rounds_per_hour)
+    ]
+
+
+def run(protocol, trace, values, rounds):
+    environment = TraceEnvironment(trace, round_seconds=ROUND_SECONDS)
+    simulation = Simulation(
+        protocol, environment, values, seed=7, mode="exchange", group_relative=True
+    )
+    return simulation.run(rounds)
+
+
+def main() -> None:
+    trace = generate_haggle_like_trace(
+        N_DEVICES, duration_hours=TRACE_HOURS, seed=11, community_size=3
+    )
+    # Song ratings cluster by taste community: some groups love their library,
+    # others are lukewarm.
+    ratings = clustered_values(N_DEVICES, cluster_means=(35.0, 60.0, 85.0), std=5.0, seed=11)
+    rounds = int(trace.duration // ROUND_SECONDS)
+    rounds_per_hour = int(3600 / ROUND_SECONDS)
+
+    rating_static = run(PushSumRevert(0.0), trace, ratings, rounds)
+    rating_dynamic = run(PushSumRevert(0.01), trace, ratings, rounds)
+    size_dynamic = run(
+        CountSketchReset(bins=32, bits=16, identifiers_per_host=100), trace, ratings, rounds
+    )
+
+    hours = list(range(len(hourly(rating_static.errors(), rounds_per_hour))))
+    group_size = hourly(
+        [r.group_sizes if r.group_sizes is not None else float("nan") for r in rating_static.rounds],
+        rounds_per_hour,
+    )
+
+    print(
+        f"{N_DEVICES} media players carried for {TRACE_HOURS:.0f} hours "
+        f"(synthetic Haggle-like trace, gossip every {ROUND_SECONDS:.0f} s).\n"
+        "Errors are relative to each device's CURRENT group (10-minute contact union).\n"
+    )
+    print(
+        render_series_table(
+            "hour",
+            hours,
+            {
+                "avg group size": group_size,
+                "rating error, static push-sum": hourly(rating_static.errors(), rounds_per_hour),
+                "rating error, push-sum-revert": hourly(rating_dynamic.errors(), rounds_per_hour),
+                "group-size error, count-sketch-reset": hourly(
+                    size_dynamic.errors(), rounds_per_hour
+                ),
+            },
+            every=2,
+        )
+    )
+    print(
+        "\nMean group-relative error over the whole trace:\n"
+        f"  static push-sum rating estimate     : {np.nanmean(rating_static.errors()):6.2f}\n"
+        f"  push-sum-revert rating estimate     : {np.nanmean(rating_dynamic.errors()):6.2f}\n"
+        f"  count-sketch-reset group-size error : {np.nanmean(size_dynamic.errors()):6.2f}\n"
+        "\nThe reverting protocol keeps tracking whichever group the device is in; "
+        "the static protocol keeps averaging over everyone it has ever met."
+    )
+
+
+if __name__ == "__main__":
+    main()

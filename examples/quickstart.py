@@ -1,0 +1,71 @@
+"""Quickstart: dynamic averaging that survives a correlated mass departure.
+
+This script walks through the library's core workflow:
+
+1. build a population of hosts with local values;
+2. run the static baseline (Push-Sum) and the paper's Push-Sum-Revert over
+   a uniform gossip environment;
+3. silently remove the highest-valued half of the hosts mid-run (the
+   worst case for a static protocol: the true average changes but no
+   message ever says so);
+4. compare how the two protocols track the new true average.
+
+Run it with::
+
+    python examples/quickstart.py
+"""
+
+from repro import PushSumRevert, Simulation, UniformEnvironment
+from repro.analysis import render_series_table
+from repro.failures import CorrelatedFailure, FailureEvent
+from repro.workloads import uniform_values
+
+N_HOSTS = 1000
+ROUNDS = 50
+FAILURE_ROUND = 20
+
+
+def run_variant(reversion: float) -> list:
+    """Run Push-Sum-Revert with the given reversion constant; λ=0 is Push-Sum."""
+    events = [FailureEvent(round=FAILURE_ROUND, model=CorrelatedFailure(0.5, highest=True))]
+    simulation = Simulation(
+        protocol=PushSumRevert(reversion),
+        environment=UniformEnvironment(N_HOSTS),
+        values=uniform_values(N_HOSTS, seed=42),
+        seed=42,
+        mode="exchange",
+        events=events,
+    )
+    return simulation.run(ROUNDS)
+
+
+def main() -> None:
+    static = run_variant(0.0)
+    dynamic = run_variant(0.1)
+
+    print(
+        f"{N_HOSTS} hosts with values uniform on [0, 100); the highest-valued half "
+        f"silently departs after round {FAILURE_ROUND}.\n"
+        f"True average before the departure: {static.rounds[FAILURE_ROUND - 1].truth:.1f}; "
+        f"after: {static.rounds[-1].truth:.1f}.\n"
+    )
+    table = render_series_table(
+        "round",
+        static.round_indices(),
+        {
+            "true average": static.truths(),
+            "static push-sum error": static.errors(),
+            "push-sum-revert (lambda=0.1) error": dynamic.errors(),
+        },
+        every=5,
+    )
+    print(table)
+    print(
+        "\nThe static protocol keeps reporting the pre-departure average forever; "
+        f"its final error is {static.final_error():.1f}. Push-Sum-Revert re-converges "
+        f"to the survivors' average with a final error of {dynamic.final_error():.1f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

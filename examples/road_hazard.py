@@ -1,0 +1,90 @@
+"""Vehicular road-hazard monitoring (the paper's introduction scenario).
+
+GPS units monitor car-mounted sensors for hazards (slippery road, heavy
+traffic) and share what they see with nearby vehicles.  Each car maintains
+a running estimate of the *network-wide hazard sum* using Invert-Average:
+Count-Sketch-Reset estimates how many cars are participating, while
+Push-Sum-Revert estimates the average hazard reading, and their product
+estimates the total amount of hazard being observed.
+
+The twist that motivates dynamic aggregation: cars that drive out of the
+area take their readings with them, silently.  Half-way through this
+simulation, the cars reporting the highest hazard levels leave (they were
+all stuck in the same flooded underpass and got rerouted) — a correlated
+departure that a static protocol never notices.
+
+Run it with::
+
+    python examples/road_hazard.py
+"""
+
+import numpy as np
+
+from repro import InvertAverage, Simulation, UniformEnvironment
+from repro.analysis import render_series_table
+from repro.baselines import SketchCount
+from repro.failures import CorrelatedFailure, FailureEvent
+from repro.workloads import zipf_values
+
+N_CARS = 400
+ROUNDS = 60
+DEPARTURE_ROUND = 25
+
+
+def hazard_readings() -> list:
+    """Per-car hazard scores: mostly small, a heavy tail of severe reports."""
+    return [min(50.0, value) for value in zipf_values(N_CARS, exponent=1.6, seed=3)]
+
+
+def run(protocol, values, events):
+    simulation = Simulation(
+        protocol,
+        UniformEnvironment(N_CARS),
+        values,
+        seed=3,
+        mode="exchange",
+        events=list(events),
+    )
+    return simulation.run(ROUNDS)
+
+
+def main() -> None:
+    values = hazard_readings()
+    events = [
+        FailureEvent(round=DEPARTURE_ROUND, model=CorrelatedFailure(0.3, highest=True))
+    ]
+
+    dynamic = run(InvertAverage(0.05, bins=32, bits=18), values, events)
+    static = run(SketchCount(bins=32, bits=24, value_as_identifiers=True), values, events)
+
+    print(
+        f"{N_CARS} cars sharing hazard readings over vehicle-to-vehicle gossip.\n"
+        f"At round {DEPARTURE_ROUND} the 30% of cars with the worst readings leave the area.\n"
+        f"True hazard sum before: {static.rounds[DEPARTURE_ROUND - 1].truth:.0f}; "
+        f"after: {static.rounds[-1].truth:.0f}.\n"
+    )
+    print(
+        render_series_table(
+            "round",
+            dynamic.round_indices(),
+            {
+                "true hazard sum": dynamic.truths(),
+                "invert-average estimate": dynamic.mean_estimates(),
+                "static sketch-sum estimate": static.mean_estimates(),
+            },
+            every=5,
+        )
+    )
+    dynamic_error = abs(dynamic.mean_estimate() - dynamic.final_truth())
+    static_error = abs(static.mean_estimate() - static.final_truth())
+    print(
+        "\nAfter the correlated departure the static multiple-insertion sketch keeps "
+        f"reporting the old total (final absolute error {static_error:.0f}), while "
+        f"Invert-Average tracks the surviving cars (final absolute error {dynamic_error:.0f}).\n"
+        "Invert-Average also sends far less data per round: two floats for the averaging "
+        "half, with one counting sketch amortised across every statistic being tracked."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package (where PEP 660 editable
+installs are unavailable) can still do ``pip install -e . --no-use-pep517``
+or ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

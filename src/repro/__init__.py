@@ -1,0 +1,92 @@
+"""repro — dynamic distributed in-network aggregation.
+
+This package is a from-scratch reproduction of *Dynamic Approaches to
+In-Network Aggregation* (Kennedy, Koch, Demers; ICDE 2009).  It provides:
+
+* the paper's dynamic aggregation protocols — :class:`~repro.core.PushSumRevert`
+  (averaging), :class:`~repro.core.CountSketchReset` (counting) and
+  :class:`~repro.core.InvertAverage` (summation) — together with the
+  Full-Transfer and adaptive-reversion optimisations;
+* the static baselines they extend — Kempe et al.'s Push-Sum / Push-Pull,
+  Considine et al.'s Sketch-Count, epoch-restarted aggregation and a
+  TAG-style spanning-tree aggregator;
+* the simulation substrate used for the paper's evaluation — a round-based
+  gossip simulator with uniform, neighbourhood, spatial and trace-driven
+  gossip environments, failure/churn models, synthetic contact traces and
+  metric recorders;
+* an experiment harness (``repro.experiments``) regenerating every figure in
+  the paper's evaluation section.
+
+Quickstart
+----------
+
+>>> from repro import Simulation, UniformEnvironment, PushSumRevert
+>>> from repro.workloads import uniform_values
+>>> values = uniform_values(200, seed=1)
+>>> sim = Simulation(
+...     protocol=PushSumRevert(reversion=0.01),
+...     environment=UniformEnvironment(200),
+...     values=values,
+...     seed=1,
+... )
+>>> result = sim.run(rounds=30)
+>>> abs(result.mean_estimate() - sum(values) / len(values)) < 5.0
+True
+"""
+
+from repro.baselines import (
+    EpochPushSum,
+    HopsSampling,
+    IntervalDensity,
+    PushPull,
+    PushSum,
+    SketchCount,
+    TreeAggregation,
+)
+from repro.core import (
+    CountSketchReset,
+    FullTransferPushSumRevert,
+    InvertAverage,
+    PushSumRevert,
+    default_cutoff,
+)
+from repro.environments import (
+    NeighborhoodEnvironment,
+    SpatialGridEnvironment,
+    TraceEnvironment,
+    UniformEnvironment,
+)
+from repro.failures import (
+    CorrelatedFailure,
+    FailureEvent,
+    JoinEvent,
+    UncorrelatedFailure,
+)
+from repro.simulator import Simulation, SimulationResult
+
+__all__ = [
+    "CountSketchReset",
+    "CorrelatedFailure",
+    "EpochPushSum",
+    "FailureEvent",
+    "FullTransferPushSumRevert",
+    "HopsSampling",
+    "IntervalDensity",
+    "InvertAverage",
+    "JoinEvent",
+    "NeighborhoodEnvironment",
+    "PushPull",
+    "PushSum",
+    "PushSumRevert",
+    "SketchCount",
+    "Simulation",
+    "SimulationResult",
+    "SpatialGridEnvironment",
+    "TraceEnvironment",
+    "TreeAggregation",
+    "UncorrelatedFailure",
+    "UniformEnvironment",
+    "default_cutoff",
+]
+
+__version__ = "1.0.0"

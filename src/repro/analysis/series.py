@@ -1,0 +1,52 @@
+"""Series helpers used when summarising experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["moving_average", "downsample", "series_summary"]
+
+
+def moving_average(series: Sequence[float], window: int) -> List[float]:
+    """Trailing moving average with a ramp-up (first entries average what exists)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    values = list(series)
+    smoothed: List[float] = []
+    for index in range(len(values)):
+        start = max(0, index - window + 1)
+        chunk = values[start : index + 1]
+        smoothed.append(float(np.mean(chunk)))
+    return smoothed
+
+
+def downsample(series: Sequence[float], every: int) -> List[float]:
+    """Keep every ``every``-th entry (always keeping the first and last)."""
+    if every < 1:
+        raise ValueError("every must be >= 1")
+    values = list(series)
+    if not values:
+        return []
+    kept = values[::every]
+    if (len(values) - 1) % every != 0:
+        kept.append(values[-1])
+    return kept
+
+
+def series_summary(series: Sequence[float]) -> Dict[str, float]:
+    """Min / max / mean / final summary of a numeric series (NaNs ignored)."""
+    arr = np.asarray(list(series), dtype=float)
+    if arr.size == 0:
+        return {"count": 0, "min": float("nan"), "max": float("nan"), "mean": float("nan"), "final": float("nan")}
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return {"count": int(arr.size), "min": float("nan"), "max": float("nan"), "mean": float("nan"), "final": float(arr[-1])}
+    return {
+        "count": int(arr.size),
+        "min": float(finite.min()),
+        "max": float(finite.max()),
+        "mean": float(finite.mean()),
+        "final": float(arr[-1]),
+    }

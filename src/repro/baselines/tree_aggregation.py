@@ -1,0 +1,163 @@
+"""TAG-style spanning-tree (overlay) aggregation.
+
+Overlay protocols such as TAG flood a query through the network, use the
+flood paths as a spanning tree, aggregate partial results up the tree to
+the requesting root, and disseminate the answer back down.  They are very
+bandwidth-efficient but depend on the tree staying valid for the duration
+of the query — the assumption that breaks down in the mobile settings this
+paper targets.
+
+Because the computation is inherently coordinated (data flows along a
+global structure rather than evolving per-host state), it is implemented
+here as a standalone aggregator over a topology snapshot rather than as a
+gossip :class:`~repro.simulator.protocol.AggregationProtocol`.  The
+examples and ablation benchmarks call it once per round on the *current*
+communication graph to obtain the best-case overlay answer and its
+messaging cost, which is the honest comparison point for the gossip
+protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.topology.connectivity import bfs_tree, connected_component
+
+__all__ = ["TreeAggregation", "TreeAggregationResult"]
+
+Adjacency = Dict[int, Set[int]]
+
+
+@dataclass(frozen=True)
+class TreeAggregationResult:
+    """Outcome of one TAG-style query.
+
+    Attributes
+    ----------
+    root:
+        The querying host.
+    reachable:
+        Hosts that participated (the root's connected component).
+    value:
+        The aggregate over the reachable hosts.
+    messages:
+        Number of point-to-point messages used: one flood message and one
+        aggregation message per tree edge, plus one dissemination message
+        per tree edge when the answer is pushed back down.
+    depth:
+        Height of the spanning tree (bounds the query latency in rounds).
+    """
+
+    root: int
+    reachable: Set[int]
+    value: float
+    messages: int
+    depth: int
+
+
+class TreeAggregation:
+    """One-shot TAG-style aggregation over a communication-graph snapshot.
+
+    Parameters
+    ----------
+    aggregate:
+        ``"average"``, ``"count"`` or ``"sum"``.
+    disseminate:
+        Whether the root's answer is pushed back down the tree (adds one
+        message per tree edge, and is what a "every host knows the answer"
+        comparison against gossip requires).
+    """
+
+    def __init__(self, aggregate: str = "average", disseminate: bool = True):
+        if aggregate not in ("average", "count", "sum"):
+            raise ValueError(f"unsupported aggregate {aggregate!r}")
+        self.aggregate = aggregate
+        self.disseminate = bool(disseminate)
+
+    # ------------------------------------------------------------------ query
+    def query(
+        self,
+        graph: Adjacency,
+        values: Mapping[int, float],
+        root: int,
+        *,
+        alive: Optional[Iterable[int]] = None,
+    ) -> TreeAggregationResult:
+        """Run one query from ``root`` over the given topology snapshot."""
+        alive_set = set(values) if alive is None else set(alive)
+        if root not in alive_set:
+            raise ValueError(f"root {root} is not a live host")
+        parents = bfs_tree(graph, root, alive=alive_set)
+        reachable = set(parents)
+        # Partial aggregates flow leaf-to-root: each host sends exactly one
+        # message to its parent carrying (sum, count) — enough to compute any
+        # of the supported aggregates at the root.
+        total = sum(values[host] for host in reachable)
+        count = len(reachable)
+        if self.aggregate == "count":
+            answer = float(count)
+        elif self.aggregate == "sum":
+            answer = float(total)
+        else:
+            answer = float(total / count) if count else float("nan")
+        tree_edges = max(0, count - 1)
+        # flood + collect (+ disseminate) over every tree edge
+        messages = tree_edges * (3 if self.disseminate else 2)
+        depth = self._tree_depth(parents)
+        return TreeAggregationResult(
+            root=root, reachable=reachable, value=answer, messages=messages, depth=depth
+        )
+
+    def query_all_components(
+        self,
+        graph: Adjacency,
+        values: Mapping[int, float],
+        *,
+        alive: Optional[Iterable[int]] = None,
+    ) -> Dict[int, TreeAggregationResult]:
+        """Run one query per connected component, rooted at its smallest id.
+
+        Returns a map from every live host to the result of its component's
+        query — the per-host "overlay answer" used when comparing against
+        group-relative gossip error.
+        """
+        alive_set = set(values) if alive is None else set(alive)
+        results: Dict[int, TreeAggregationResult] = {}
+        remaining = set(alive_set)
+        while remaining:
+            root = min(remaining)
+            component = connected_component(graph, root, alive=alive_set)
+            result = self.query(graph, values, root, alive=alive_set)
+            for host in component:
+                results[host] = result
+            remaining -= component
+        return results
+
+    # ------------------------------------------------------------------ utils
+    @staticmethod
+    def _tree_depth(parents: Mapping[int, Optional[int]]) -> int:
+        depth = 0
+        for node in parents:
+            length = 0
+            current: Optional[int] = node
+            while current is not None and parents.get(current) is not None:
+                current = parents[current]
+                length += 1
+                if length > len(parents):  # pragma: no cover - defensive
+                    raise RuntimeError("cycle detected in spanning tree")
+            depth = max(depth, length)
+        return depth
+
+    # ------------------------------------------------------------- comparison
+    def per_round_messages(self, graph: Adjacency, values: Mapping[int, float]) -> int:
+        """Messages needed to refresh every component's answer once."""
+        results = self.query_all_components(graph, values)
+        seen: Set[Tuple[int, float]] = set()
+        total = 0
+        for result in results.values():
+            key = (result.root, result.value)
+            if key not in seen:
+                seen.add(key)
+                total += result.messages
+        return total

@@ -1,0 +1,171 @@
+"""Command-line front end: ``python -m repro`` / ``repro-aggregate``.
+
+Subcommands
+-----------
+
+``experiments``
+    Run the paper's evaluation figures (all of them or a subset) under the
+    ``quick`` or ``full`` profile and print the rendered tables.
+
+``demo``
+    Run a small Push-Sum-Revert demonstration on a uniform network with a
+    correlated failure and print the error trajectory.
+
+``trace``
+    Generate a synthetic Haggle-like contact trace and print its summary
+    statistics (or write it to CSV for inspection).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.render import render_series_table, render_table
+from repro.experiments.runner import PROFILES, run_all_experiments
+from repro.mobility.stats import (
+    average_group_size_series,
+    contact_duration_stats,
+    intercontact_time_stats,
+)
+from repro.mobility.synthetic_haggle import generate_haggle_like_trace, haggle_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-aggregate",
+        description="Dynamic in-network aggregation: experiments and demos",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run the paper's evaluation figures and print the tables"
+    )
+    experiments.add_argument(
+        "--profile", choices=sorted(PROFILES), default="quick", help="problem-size profile"
+    )
+    experiments.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="subset of experiments to run (fig6 fig8 fig9 fig10 fig11 ablations)",
+    )
+    experiments.add_argument("--seed", type=int, default=0, help="root random seed")
+    experiments.add_argument(
+        "--no-ablations", action="store_true", help="skip the design-choice ablations"
+    )
+    experiments.add_argument(
+        "--output", default=None, help="also write the report to this file"
+    )
+
+    demo = subparsers.add_parser(
+        "demo", help="small Push-Sum-Revert demo with a correlated failure"
+    )
+    demo.add_argument("--hosts", type=int, default=1000)
+    demo.add_argument("--rounds", type=int, default=50)
+    demo.add_argument("--failure-round", type=int, default=20)
+    demo.add_argument("--reversion", type=float, default=0.1)
+    demo.add_argument("--seed", type=int, default=0)
+
+    trace = subparsers.add_parser(
+        "trace", help="generate a synthetic Haggle-like trace and summarise it"
+    )
+    trace.add_argument("--dataset", type=int, choices=(1, 2, 3), default=None,
+                       help="use the preset matching a paper dataset")
+    trace.add_argument("--devices", type=int, default=12)
+    trace.add_argument("--hours", type=float, default=48.0)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--csv", default=None, help="write the trace to this CSV path")
+    return parser
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    report = run_all_experiments(
+        args.profile,
+        seed=args.seed,
+        only=args.only,
+        include_ablations=not args.no_ablations,
+    )
+    text = report.text()
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    from repro.simulator.vectorized import VectorizedPushSumRevert
+    from repro.workloads.values import uniform_values
+
+    values = uniform_values(args.hosts, seed=args.seed)
+    kernel = VectorizedPushSumRevert(values, args.reversion, mode="pushpull", seed=args.seed)
+    rounds: List[int] = []
+    errors: List[float] = []
+    truths: List[float] = []
+    for round_index in range(args.rounds):
+        if round_index == args.failure_round:
+            kernel.fail_highest_fraction(0.5)
+        kernel.step()
+        rounds.append(round_index + 1)
+        errors.append(kernel.error())
+        truths.append(kernel.truth())
+    print(
+        f"Push-Sum-Revert demo: {args.hosts} hosts, lambda={args.reversion}, "
+        f"highest-valued half removed at round {args.failure_round}"
+    )
+    print(
+        render_series_table(
+            "round", rounds, {"stddev error": errors, "true average": truths}, every=2
+        )
+    )
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    if args.dataset is not None:
+        trace = haggle_dataset(args.dataset)
+    else:
+        trace = generate_haggle_like_trace(args.devices, duration_hours=args.hours, seed=args.seed)
+    durations = contact_duration_stats(trace)
+    intercontact = intercontact_time_stats(trace)
+    times, sizes = average_group_size_series(trace, step_seconds=3600.0)
+    print(f"Trace {trace.name}: {trace.n_devices} devices, {trace.duration / 3600.0:.1f} hours, "
+          f"{len(trace)} contacts")
+    print(render_table(
+        ["statistic", "contacts", "inter-contact gaps"],
+        [
+            ["count", durations["count"], intercontact["count"]],
+            ["mean (s)", durations["mean"], intercontact["mean"]],
+            ["median (s)", durations["median"], intercontact["median"]],
+            ["p90 (s)", durations["p90"], intercontact["p90"]],
+        ],
+    ))
+    print()
+    print(render_series_table("hour", [round(t, 1) for t in times], {"avg group size": sizes}, every=4))
+    if args.csv:
+        trace.to_csv(args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        return _command_experiments(args)
+    if args.command == "demo":
+        return _command_demo(args)
+    if args.command == "trace":
+        return _command_trace(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

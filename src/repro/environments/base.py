@@ -1,0 +1,80 @@
+"""The gossip-environment interface consumed by the simulation engine."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Set
+
+import numpy as np
+
+__all__ = ["GossipEnvironment"]
+
+
+class GossipEnvironment(abc.ABC):
+    """Decides which peers a host may gossip with at a given round.
+
+    The engine calls :meth:`select_peers` once per live host per round.  An
+    environment may also *provide groups* — a partition of the live hosts
+    into "nearby" clusters — in which case trace-style experiments can
+    measure each host's error against its own group's aggregate (Fig 11).
+
+    Attributes
+    ----------
+    provides_groups:
+        True when :meth:`groups` returns a meaningful partition rather than
+        the single all-hosts group.
+    """
+
+    provides_groups: bool = False
+
+    @abc.abstractmethod
+    def select_peers(
+        self,
+        host_id: int,
+        alive: Set[int],
+        round_index: int,
+        count: int,
+        rng: np.random.Generator,
+    ) -> List[int]:
+        """Select up to ``count`` gossip peers for ``host_id``.
+
+        The returned peers must be live and distinct from ``host_id``.  An
+        isolated host gets an empty list and simply skips the round — a
+        situation that arises constantly in the trace-driven environment.
+        """
+
+    def neighbors(self, host_id: int, alive: Set[int], round_index: int) -> List[int]:
+        """All hosts ``host_id`` could possibly gossip with this round.
+
+        The default assumes full connectivity.  Overlay baselines (TAG) use
+        this to build spanning trees over the current communication graph.
+        """
+        return [other for other in alive if other != host_id]
+
+    def groups(self, alive: Set[int], round_index: int) -> List[Set[int]]:
+        """Partition of the live hosts into "nearby" groups.
+
+        The default is a single group containing everybody, which is correct
+        for fully connected environments.
+        """
+        return [set(alive)] if alive else []
+
+    def register_host(self, host_id: int) -> None:
+        """Called by the engine when a host joins after construction.
+
+        Environments with per-host structure (positions, trace identity)
+        override this; the default accepts the new host silently.
+        """
+
+    # ------------------------------------------------------------------ util
+    @staticmethod
+    def _sample_distinct(
+        candidates: Sequence[int], count: int, rng: np.random.Generator
+    ) -> List[int]:
+        """Sample up to ``count`` distinct entries of ``candidates``."""
+        if not candidates or count <= 0:
+            return []
+        if count >= len(candidates):
+            return list(candidates)
+        picks = rng.choice(len(candidates), size=count, replace=False)
+        return [candidates[int(index)] for index in picks]

@@ -1,0 +1,76 @@
+"""Uniform (fully connected) gossip environment."""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+import numpy as np
+
+from repro.environments.base import GossipEnvironment
+
+__all__ = ["UniformEnvironment"]
+
+
+class UniformEnvironment(GossipEnvironment):
+    """Every live host may gossip with every other live host.
+
+    This is the idealised model used for the large-scale experiments in the
+    paper (Figs 6, 8, 9, 10): peer selection is uniform over the live
+    population.  Peer selection is O(count) per call; the engine passes the
+    live set, so failed hosts are never selected.
+
+    Parameters
+    ----------
+    n:
+        Initial number of hosts (informational; the live set passed by the
+        engine is authoritative).
+    """
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.n = int(n)
+
+    def select_peers(
+        self,
+        host_id: int,
+        alive: Set[int],
+        round_index: int,
+        count: int,
+        rng: np.random.Generator,
+    ) -> List[int]:
+        population = len(alive)
+        if population <= 1 or count <= 0:
+            return []
+        # Rejection-sample identifiers: the alive set is usually dense, and
+        # converting it to a list every call would dominate the round cost
+        # for large populations.  Fall back to explicit sampling when the
+        # rejection approach would thrash (tiny alive sets).
+        alive_list = None
+        peers: List[int] = []
+        seen = {host_id}
+        attempts = 0
+        max_attempts = 16 * max(1, count)
+        while len(peers) < min(count, population - 1):
+            attempts += 1
+            if attempts > max_attempts:
+                if alive_list is None:
+                    alive_list = [h for h in alive if h not in seen]
+                remaining = min(count - len(peers), len(alive_list))
+                peers.extend(self._sample_distinct(alive_list, remaining, rng))
+                break
+            candidate = int(rng.integers(0, self.n)) if self.n > population else None
+            if candidate is None or candidate not in alive or candidate in seen:
+                # Either the id space is dense (sample directly from alive)
+                # or the rejection draw missed; try a direct draw from alive.
+                if alive_list is None:
+                    alive_list = list(alive)
+                candidate = alive_list[int(rng.integers(0, len(alive_list)))]
+                if candidate in seen:
+                    continue
+            peers.append(candidate)
+            seen.add(candidate)
+        return peers
+
+    def register_host(self, host_id: int) -> None:
+        self.n = max(self.n, host_id + 1)

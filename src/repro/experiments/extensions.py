@@ -1,0 +1,164 @@
+"""Experiments for the extension features (DESIGN.md §6).
+
+These are not figures from the paper; they quantify the behaviours the
+extensions add so that their claims are as reproducible as the paper's:
+
+* **Graceful versus silent departure** — how much error each protocol
+  family carries after the same set of hosts leaves, with and without the
+  chance to sign off.
+* **Extrema freshness** — static gossip max versus the freshness-limited
+  `ExtremaReset` after the host holding the maximum departs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.render import render_table
+from repro.baselines import ExtremaGossip, ExtremaReset, PushSum
+from repro.core import CountSketchReset, GracefulDepartureEvent, PushSumRevert
+from repro.environments import UniformEnvironment
+from repro.failures import CorrelatedFailure, ExplicitFailure, FailureEvent
+from repro.simulator import Simulation
+from repro.workloads import uniform_values
+
+__all__ = [
+    "DepartureComparisonResult",
+    "run_departure_comparison",
+    "render_departure_comparison",
+    "ExtremaComparisonResult",
+    "run_extrema_comparison",
+    "render_extrema_comparison",
+]
+
+
+@dataclass
+class DepartureComparisonResult:
+    """Final errors after a correlated departure, graceful versus silent."""
+
+    n_hosts: int
+    rounds: int
+    departure_round: int
+    #: protocol label → {"silent": error, "graceful": error}
+    final_errors: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def run_departure_comparison(
+    n_hosts: int = 400,
+    *,
+    rounds: int = 50,
+    departure_round: int = 15,
+    fraction: float = 0.5,
+    seed: int = 0,
+) -> DepartureComparisonResult:
+    """Compare silent failure against graceful sign-off for three protocols."""
+    values = uniform_values(n_hosts, seed=seed)
+    model = CorrelatedFailure(fraction, highest=True)
+    protocols = {
+        "push-sum (static)": lambda: PushSum(),
+        "push-sum-revert (lambda=0.1)": lambda: PushSumRevert(0.1),
+        "count-sketch-reset": lambda: CountSketchReset(bins=16, bits=18),
+    }
+    result = DepartureComparisonResult(
+        n_hosts=n_hosts, rounds=rounds, departure_round=departure_round
+    )
+    for label, factory in protocols.items():
+        outcomes: Dict[str, float] = {}
+        for mode, event in (
+            ("silent", FailureEvent(round=departure_round, model=model)),
+            ("graceful", GracefulDepartureEvent(round=departure_round, model=model)),
+        ):
+            protocol = factory()
+            host_values = values if protocol.aggregate == "average" else [1.0] * n_hosts
+            simulation = Simulation(
+                protocol,
+                UniformEnvironment(n_hosts),
+                host_values,
+                seed=seed,
+                mode="exchange",
+                events=[event],
+            )
+            outcomes[mode] = simulation.run(rounds).plateau_error(tail=5)
+        result.final_errors[label] = outcomes
+    return result
+
+
+def render_departure_comparison(result: DepartureComparisonResult) -> str:
+    """Render the graceful-versus-silent comparison as a table."""
+    rows = [
+        [label, round(errors["silent"], 3), round(errors["graceful"], 3)]
+        for label, errors in result.final_errors.items()
+    ]
+    header = (
+        f"Graceful vs silent departure: {result.n_hosts} hosts, highest-valued half "
+        f"leaves at round {result.departure_round}; plateau error over the last 5 of "
+        f"{result.rounds} rounds\n"
+    )
+    return header + render_table(["protocol", "silent failure", "graceful sign-off"], rows)
+
+
+@dataclass
+class ExtremaComparisonResult:
+    """Error trajectories of static versus freshness-limited extrema gossip."""
+
+    n_hosts: int
+    rounds: int
+    departure_round: int
+    static_errors: List[float] = field(default_factory=list)
+    reset_errors: List[float] = field(default_factory=list)
+
+    def static_final(self) -> float:
+        return self.static_errors[-1]
+
+    def reset_final(self) -> float:
+        return self.reset_errors[-1]
+
+
+def run_extrema_comparison(
+    n_hosts: int = 300,
+    *,
+    rounds: int = 60,
+    departure_round: int = 15,
+    cutoff: int = 12,
+    seed: int = 0,
+) -> ExtremaComparisonResult:
+    """Fail the host holding the maximum and compare the two extrema protocols."""
+    values = uniform_values(n_hosts, seed=seed)
+    top_host = int(np.argmax(values))
+    result = ExtremaComparisonResult(
+        n_hosts=n_hosts, rounds=rounds, departure_round=departure_round
+    )
+    for label, protocol in (
+        ("static", ExtremaGossip()),
+        ("reset", ExtremaReset(cutoff=cutoff)),
+    ):
+        simulation = Simulation(
+            protocol,
+            UniformEnvironment(n_hosts),
+            values,
+            seed=seed,
+            mode="exchange",
+            events=[FailureEvent(round=departure_round, model=ExplicitFailure([top_host]))],
+        )
+        errors = simulation.run(rounds).errors()
+        if label == "static":
+            result.static_errors = errors
+        else:
+            result.reset_errors = errors
+    return result
+
+
+def render_extrema_comparison(result: ExtremaComparisonResult) -> str:
+    """Render final errors of the extrema comparison."""
+    rows = [
+        ["extrema-gossip (static)", round(result.static_final(), 3)],
+        ["extrema-reset (freshness cutoff)", round(result.reset_final(), 3)],
+    ]
+    header = (
+        f"Extrema after the maximum departs: {result.n_hosts} hosts, the host holding "
+        f"the maximum leaves at round {result.departure_round}; error at round {result.rounds}\n"
+    )
+    return header + render_table(["protocol", "final error"], rows)

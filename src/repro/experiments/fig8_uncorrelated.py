@@ -1,0 +1,99 @@
+"""Figure 8: dynamic averaging under uncorrelated failures.
+
+Setup (paper): 100 000 hosts, values uniform on [0, 100), push/pull uniform
+gossip; after 20 rounds half the hosts — chosen uniformly at random — are
+silently removed; the standard deviation of the hosts' estimates from the
+correct average is plotted per round for reversion constants
+λ ∈ {0, 0.001, 0.01, 0.1, 0.5}.
+
+Expected shape: because random failures barely move the true average and
+remove mass proportionally, *every* λ (including the static protocol λ=0)
+converges and stays converged; reversion does no harm when it is not
+needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.render import render_series_table
+from repro.simulator.vectorized import VectorizedPushSumRevert
+from repro.workloads.values import uniform_values
+
+__all__ = ["Fig8Result", "run_fig8", "render_fig8", "DEFAULT_LAMBDAS"]
+
+#: Reversion constants swept in the paper's figure.
+DEFAULT_LAMBDAS: Tuple[float, ...] = (0.0, 0.001, 0.01, 0.1, 0.5)
+
+
+@dataclass
+class Fig8Result:
+    """Per-λ error series for the uncorrelated-failure experiment."""
+
+    n_hosts: int
+    rounds: int
+    failure_round: int
+    failure_fraction: float
+    seed: int
+    #: λ → per-round standard deviation from the correct (current) average.
+    errors: Dict[float, List[float]] = field(default_factory=dict)
+    #: per-round correct average (same for every λ; recorded once).
+    truths: List[float] = field(default_factory=list)
+
+    def final_error(self, reversion: float) -> float:
+        """Error at the last round for the given λ."""
+        return self.errors[reversion][-1]
+
+    def error_at(self, reversion: float, round_index: int) -> float:
+        """Error at a specific round for the given λ."""
+        return self.errors[reversion][round_index]
+
+
+def run_fig8(
+    n_hosts: int = 4000,
+    *,
+    rounds: int = 60,
+    failure_round: int = 20,
+    failure_fraction: float = 0.5,
+    lambdas: Sequence[float] = DEFAULT_LAMBDAS,
+    mode: str = "pushpull",
+    seed: int = 0,
+) -> Fig8Result:
+    """Run the Figure 8 experiment (scaled to ``n_hosts``)."""
+    if failure_round >= rounds:
+        raise ValueError("failure_round must fall inside the simulated rounds")
+    values = uniform_values(n_hosts, seed=seed)
+    result = Fig8Result(
+        n_hosts=n_hosts,
+        rounds=rounds,
+        failure_round=failure_round,
+        failure_fraction=failure_fraction,
+        seed=seed,
+    )
+    for index, reversion in enumerate(lambdas):
+        kernel = VectorizedPushSumRevert(values, reversion, mode=mode, seed=seed)
+        errors: List[float] = []
+        truths: List[float] = []
+        for round_index in range(rounds):
+            if round_index == failure_round:
+                kernel.fail_random_fraction(failure_fraction)
+            kernel.step()
+            errors.append(kernel.error())
+            truths.append(kernel.truth())
+        result.errors[float(reversion)] = errors
+        if index == 0:
+            result.truths = truths
+    return result
+
+
+def render_fig8(result: Fig8Result, *, every: int = 5) -> str:
+    """Render the per-λ error series as an aligned table (one row per round)."""
+    rounds_axis = list(range(1, result.rounds + 1))
+    series = {f"lambda={reversion:g}": errors for reversion, errors in sorted(result.errors.items())}
+    header = (
+        f"Figure 8 — uncorrelated failures: {result.n_hosts} hosts, "
+        f"{result.failure_fraction:.0%} random hosts removed at round {result.failure_round}\n"
+        "Standard deviation from the correct average per gossip round:\n"
+    )
+    return header + render_series_table("round", rounds_axis, series, every=every)

@@ -1,0 +1,127 @@
+"""Run every experiment and render a combined text report.
+
+Two profiles are provided:
+
+* ``quick`` — small populations and truncated traces; finishes in a couple
+  of minutes and is what the benchmark suite and CI exercise;
+* ``full`` — larger populations (still below the paper's 100 000 hosts; see
+  DESIGN.md §4) and full-length traces for all three datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.ablations import (
+    run_adaptive_lambda_ablation,
+    run_cutoff_slope_ablation,
+    run_full_transfer_parameter_ablation,
+    run_push_vs_pushpull_ablation,
+    run_summation_cost_ablation,
+)
+from repro.experiments.fig6_counter_cdf import render_fig6, run_fig6
+from repro.experiments.fig8_uncorrelated import render_fig8, run_fig8
+from repro.experiments.fig9_counting_failure import render_fig9, run_fig9
+from repro.experiments.fig10_correlated import render_fig10, run_fig10
+from repro.experiments.fig11_traces import render_fig11, run_fig11
+
+__all__ = ["ExperimentReport", "run_all_experiments", "PROFILES"]
+
+#: Named configuration profiles.
+PROFILES: Dict[str, Dict[str, dict]] = {
+    "quick": {
+        "fig6": {"sizes": (500, 2000), "bins": 16, "bits": 18, "convergence_rounds": 25},
+        "fig8": {"n_hosts": 2000, "rounds": 60},
+        "fig9": {"n_hosts": 2000, "rounds": 40, "bins": 16},
+        "fig10": {"n_hosts": 2000, "rounds": 60},
+        "fig11": {"datasets": (1,), "max_hours": 12.0, "bins": 16, "bits": 14},
+    },
+    "full": {
+        "fig6": {"sizes": (1000, 10000, 50000), "bins": 32, "bits": 22, "convergence_rounds": 35},
+        "fig8": {"n_hosts": 50000, "rounds": 60},
+        "fig9": {"n_hosts": 20000, "rounds": 40, "bins": 32},
+        "fig10": {"n_hosts": 50000, "rounds": 60},
+        "fig11": {"datasets": (1, 2, 3), "max_hours": None, "bins": 64, "bits": 16},
+    },
+}
+
+
+@dataclass
+class ExperimentReport:
+    """Results and rendered text for every experiment that was run."""
+
+    profile: str
+    results: Dict[str, object] = field(default_factory=dict)
+    rendered: Dict[str, str] = field(default_factory=dict)
+
+    def text(self) -> str:
+        """The full report as one string (what the CLI prints)."""
+        sections: List[str] = [f"# Experiment report (profile: {self.profile})"]
+        for name in sorted(self.rendered):
+            sections.append(f"\n## {name}\n\n{self.rendered[name]}")
+        return "\n".join(sections)
+
+
+def run_all_experiments(
+    profile: str = "quick",
+    *,
+    seed: int = 0,
+    only: Optional[List[str]] = None,
+    include_ablations: bool = True,
+) -> ExperimentReport:
+    """Run the selected experiments and return their results plus rendered text.
+
+    Parameters
+    ----------
+    profile:
+        ``"quick"`` or ``"full"`` (see :data:`PROFILES`).
+    only:
+        Restrict to a subset of experiment names (e.g. ``["fig8", "fig10"]``).
+    include_ablations:
+        Also run the DESIGN.md §6 ablations (cheap; included by default).
+    """
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; expected one of {sorted(PROFILES)}")
+    config = PROFILES[profile]
+    selected = set(only) if only else None
+
+    def wanted(name: str) -> bool:
+        return selected is None or name in selected
+
+    report = ExperimentReport(profile=profile)
+
+    if wanted("fig6"):
+        result = run_fig6(seed=seed, **config["fig6"])
+        report.results["fig6"] = result
+        report.rendered["fig6"] = render_fig6(result)
+    if wanted("fig8"):
+        result = run_fig8(seed=seed, **config["fig8"])
+        report.results["fig8"] = result
+        report.rendered["fig8"] = render_fig8(result)
+    if wanted("fig9"):
+        result = run_fig9(seed=seed, **config["fig9"])
+        report.results["fig9"] = result
+        report.rendered["fig9"] = render_fig9(result)
+    if wanted("fig10"):
+        result = run_fig10(seed=seed, **config["fig10"])
+        report.results["fig10"] = result
+        report.rendered["fig10"] = render_fig10(result)
+    if wanted("fig11"):
+        result = run_fig11(seed=seed, **config["fig11"])
+        report.results["fig11"] = result
+        report.rendered["fig11"] = render_fig11(result)
+
+    if include_ablations and (selected is None or "ablations" in selected):
+        ablations = {
+            "push-vs-pushpull": run_push_vs_pushpull_ablation(seed=seed),
+            "adaptive-lambda": run_adaptive_lambda_ablation(seed=seed),
+            "full-transfer-parameters": run_full_transfer_parameter_ablation(seed=seed),
+            "cutoff-slope": run_cutoff_slope_ablation(seed=seed),
+            "summation-cost": run_summation_cost_ablation(),
+        }
+        report.results["ablations"] = ablations
+        report.rendered["ablations"] = "\n\n".join(
+            ablation.render() for ablation in ablations.values()
+        )
+    return report

@@ -1,0 +1,150 @@
+"""Failure models: which hosts silently leave the computation.
+
+A failure model is a strategy object that, given the currently live hosts
+(and their values), selects the identifiers to fail.  Keeping selection
+separate from scheduling lets the same models drive one-shot events
+(Figs 8–10), continuous churn processes, and the vectorised kernels.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "FailureModel",
+    "UncorrelatedFailure",
+    "CorrelatedFailure",
+    "ExplicitFailure",
+    "BernoulliChurn",
+]
+
+
+class FailureModel(abc.ABC):
+    """Selects which of the live hosts fail."""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        alive_ids: Sequence[int],
+        values: Dict[int, float],
+        rng: np.random.Generator,
+    ) -> List[int]:
+        """Return the identifiers of the hosts that fail."""
+
+    def describe(self) -> dict:
+        """Parameters for experiment records."""
+        return {"model": type(self).__name__}
+
+
+class UncorrelatedFailure(FailureModel):
+    """Fail a uniformly random ``fraction`` of the live hosts.
+
+    By the law of large numbers this leaves the true average (almost)
+    unchanged; the paper uses it to show that Push-Sum-Revert does no harm
+    when reversion is not needed (Fig 8).
+    """
+
+    def __init__(self, fraction: float = 0.5):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        self.fraction = float(fraction)
+
+    def select(
+        self,
+        alive_ids: Sequence[int],
+        values: Dict[int, float],
+        rng: np.random.Generator,
+    ) -> List[int]:
+        count = int(round(self.fraction * len(alive_ids)))
+        if count <= 0:
+            return []
+        picks = rng.choice(len(alive_ids), size=min(count, len(alive_ids)), replace=False)
+        return [alive_ids[int(index)] for index in picks]
+
+    def describe(self) -> dict:
+        return {"model": "UncorrelatedFailure", "fraction": self.fraction}
+
+
+class CorrelatedFailure(FailureModel):
+    """Fail the ``fraction`` of live hosts with the most extreme values.
+
+    The paper's correlated-failure experiment removes the highest-valued
+    half of the hosts, shifting the expected average from 50 to 25 while
+    leaving the surviving mass unaware anything happened (Fig 10).
+    ``highest=False`` removes the lowest-valued hosts instead.
+    """
+
+    def __init__(self, fraction: float = 0.5, highest: bool = True):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        self.fraction = float(fraction)
+        self.highest = bool(highest)
+
+    def select(
+        self,
+        alive_ids: Sequence[int],
+        values: Dict[int, float],
+        rng: np.random.Generator,
+    ) -> List[int]:
+        count = int(round(self.fraction * len(alive_ids)))
+        if count <= 0:
+            return []
+        ordered = sorted(alive_ids, key=lambda host_id: values[host_id], reverse=self.highest)
+        return list(ordered[:count])
+
+    def describe(self) -> dict:
+        return {
+            "model": "CorrelatedFailure",
+            "fraction": self.fraction,
+            "highest": self.highest,
+        }
+
+
+class ExplicitFailure(FailureModel):
+    """Fail an explicit list of host identifiers (tests and what-if studies)."""
+
+    def __init__(self, host_ids: Sequence[int]):
+        self.host_ids = list(host_ids)
+
+    def select(
+        self,
+        alive_ids: Sequence[int],
+        values: Dict[int, float],
+        rng: np.random.Generator,
+    ) -> List[int]:
+        alive = set(alive_ids)
+        return [host_id for host_id in self.host_ids if host_id in alive]
+
+    def describe(self) -> dict:
+        return {"model": "ExplicitFailure", "count": len(self.host_ids)}
+
+
+class BernoulliChurn(FailureModel):
+    """Each live host independently fails with probability ``p`` per round.
+
+    Combined with a matching arrival process this models steady-state churn
+    rather than the paper's one-shot catastrophes; used by the ablation and
+    robustness experiments.
+    """
+
+    def __init__(self, p: float):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.p = float(p)
+
+    def select(
+        self,
+        alive_ids: Sequence[int],
+        values: Dict[int, float],
+        rng: np.random.Generator,
+    ) -> List[int]:
+        if not alive_ids or self.p == 0.0:
+            return []
+        draws = rng.random(len(alive_ids))
+        return [host_id for host_id, draw in zip(alive_ids, draws) if draw < self.p]
+
+    def describe(self) -> dict:
+        return {"model": "BernoulliChurn", "p": self.p}

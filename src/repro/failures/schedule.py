@@ -1,0 +1,125 @@
+"""Scheduled events applied to a running simulation.
+
+Events expose a ``round`` attribute and an ``apply(simulation, round_index)``
+method; the engine applies every event whose round matches at the *start*
+of that round.  "Fail half the hosts after 20 rounds" is therefore
+``FailureEvent(round=20, model=...)`` — rounds 0–19 run undisturbed and the
+failure is in effect from round 20 onwards, matching the paper's "after 20
+iterations, 50 000 random hosts were removed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.failures.models import FailureModel
+
+__all__ = ["FailureEvent", "JoinEvent", "ValueChangeEvent", "ChurnProcess"]
+
+
+@dataclass
+class FailureEvent:
+    """Silently fail the hosts selected by ``model`` at round ``round``."""
+
+    round: int
+    model: FailureModel
+    #: Seed offset so repeated events with the same model differ.
+    seed_salt: str = "failure"
+
+    def apply(self, simulation, round_index: int) -> None:
+        rng = simulation.streams.get(f"{self.seed_salt}:{round_index}")
+        alive_ids = simulation.alive_ids()
+        values = {host_id: simulation.hosts[host_id].value for host_id in alive_ids}
+        for host_id in self.model.select(alive_ids, values, rng):
+            simulation.fail_host(host_id, round_index)
+
+    def describe(self) -> dict:
+        return {"event": "failure", "round": self.round, **self.model.describe()}
+
+
+@dataclass
+class JoinEvent:
+    """Add ``count`` new hosts whose values come from ``value_factory``.
+
+    ``value_factory`` receives the event's RNG and must return one value per
+    call; the default draws uniformly from [0, 100), the paper's standard
+    value distribution.
+    """
+
+    round: int
+    count: int
+    value_factory: Optional[Callable[[np.random.Generator], float]] = None
+    seed_salt: str = "join"
+
+    def apply(self, simulation, round_index: int) -> None:
+        rng = simulation.streams.get(f"{self.seed_salt}:{round_index}")
+        factory = self.value_factory or (lambda generator: float(generator.uniform(0.0, 100.0)))
+        for _ in range(self.count):
+            simulation.add_host(factory(rng), round_index)
+
+    def describe(self) -> dict:
+        return {"event": "join", "round": self.round, "count": self.count}
+
+
+@dataclass
+class ValueChangeEvent:
+    """Replace the values of selected hosts mid-run.
+
+    ``new_values`` maps host identifier to its new value.  Note that gossip
+    protocols whose state was initialised from the old value (all of them)
+    will only track the change if they revert towards their initial value —
+    which is exactly the behaviour Push-Sum-Revert adds; this event powers
+    the value-drift ablation experiments.
+    """
+
+    round: int
+    new_values: Dict[int, float] = field(default_factory=dict)
+    #: Also refresh the protocol state's notion of the initial value when the
+    #: protocol exposes a ``rebase(state, value)`` hook.
+    rebase_state: bool = True
+
+    def apply(self, simulation, round_index: int) -> None:
+        for host_id, value in self.new_values.items():
+            if host_id not in simulation.hosts:
+                continue
+            host = simulation.hosts[host_id]
+            host.value = float(value)
+            if self.rebase_state and hasattr(simulation.protocol, "rebase"):
+                simulation.protocol.rebase(host.state, float(value))
+
+    def describe(self) -> dict:
+        return {"event": "value-change", "round": self.round, "count": len(self.new_values)}
+
+
+@dataclass
+class ChurnProcess:
+    """Continuous churn: apply a failure model and an arrival rate every round.
+
+    This is a convenience that expands into one event per round in
+    ``range(start, stop)``; use :meth:`events` and pass the result to the
+    simulation's ``events`` argument.
+    """
+
+    start: int
+    stop: int
+    model: FailureModel
+    arrivals_per_round: int = 0
+    value_factory: Optional[Callable[[np.random.Generator], float]] = None
+
+    def events(self) -> Sequence:
+        scheduled = []
+        for round_index in range(self.start, self.stop):
+            scheduled.append(FailureEvent(round=round_index, model=self.model, seed_salt="churn"))
+            if self.arrivals_per_round > 0:
+                scheduled.append(
+                    JoinEvent(
+                        round=round_index,
+                        count=self.arrivals_per_round,
+                        value_factory=self.value_factory,
+                        seed_salt="churn-join",
+                    )
+                )
+        return scheduled

@@ -1,0 +1,85 @@
+"""Accuracy metrics.
+
+All the evaluation figures in the paper plot one statistic: "the standard
+deviation from the correct value" — the root-mean-square deviation of the
+hosts' estimates from the true aggregate.  These helpers compute that
+statistic (and a few companions) over plain sequences or NumPy arrays so
+the agent-based engine, the vectorised kernels and the analysis code agree
+on the definition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = [
+    "stddev_from_truth",
+    "relative_error",
+    "mean_absolute_error",
+    "group_relative_errors",
+]
+
+
+def stddev_from_truth(estimates: Sequence[float], truth: float) -> float:
+    """Root-mean-square deviation of ``estimates`` from ``truth``.
+
+    Returns NaN for an empty estimate set (e.g. after every host failed).
+    """
+    arr = np.asarray(list(estimates), dtype=float)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.sqrt(np.mean((arr - truth) ** 2)))
+
+
+def relative_error(error: float, truth: float) -> float:
+    """``error`` as a fraction of ``truth`` (NaN when the truth is zero)."""
+    if truth == 0:
+        return float("nan")
+    return float(error / abs(truth))
+
+
+def mean_absolute_error(estimates: Sequence[float], truth: float) -> float:
+    """Mean absolute deviation of ``estimates`` from ``truth``."""
+    arr = np.asarray(list(estimates), dtype=float)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.mean(np.abs(arr - truth)))
+
+
+def group_relative_errors(
+    estimates: Mapping[int, float],
+    groups: Iterable[Set[int]],
+    truth_of_group: Mapping[int, float],
+) -> Tuple[List[float], Dict[int, float]]:
+    """Per-host deviations from each host's *group* truth.
+
+    Parameters
+    ----------
+    estimates:
+        host id → estimate.
+    groups:
+        The partition of hosts into groups (ids absent from ``estimates`` are
+        ignored).
+    truth_of_group:
+        group index (position in ``groups``) → correct aggregate for that
+        group.
+
+    Returns
+    -------
+    (deltas, truth_by_host):
+        ``deltas`` is the list of per-host (estimate − group truth) values;
+        ``truth_by_host`` maps each covered host to its group's truth.
+    """
+    deltas: List[float] = []
+    truth_by_host: Dict[int, float] = {}
+    for index, group in enumerate(groups):
+        if index not in truth_of_group:
+            continue
+        truth = truth_of_group[index]
+        for host_id in group:
+            if host_id in estimates:
+                truth_by_host[host_id] = truth
+                deltas.append(estimates[host_id] - truth)
+    return deltas, truth_by_host

@@ -1,0 +1,68 @@
+"""Convergence-time summaries over error series."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["convergence_round", "reconvergence_round", "plateau_error"]
+
+
+def convergence_round(
+    errors: Sequence[float],
+    threshold: float,
+    *,
+    start: int = 0,
+    sustained: int = 1,
+) -> Optional[int]:
+    """Index of the first round (>= ``start``) where the error stays <= threshold.
+
+    ``sustained`` consecutive rounds must satisfy the bound; returns ``None``
+    when the series never converges.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    if sustained < 1:
+        raise ValueError("sustained must be >= 1")
+    run_length = 0
+    for index, error in enumerate(errors):
+        if index < start:
+            continue
+        if error <= threshold:
+            run_length += 1
+            if run_length >= sustained:
+                return index - sustained + 1
+        else:
+            run_length = 0
+    return None
+
+
+def reconvergence_round(
+    errors: Sequence[float],
+    threshold: float,
+    *,
+    disturbance_round: int,
+    sustained: int = 1,
+) -> Optional[int]:
+    """Rounds needed to get back under ``threshold`` after a disturbance.
+
+    Returns the number of rounds *after* ``disturbance_round`` at which the
+    error first stays below the threshold (``None`` if it never does).  This
+    is the "reconvergence time" the paper quotes for Push-Sum-Revert after
+    the correlated failure.
+    """
+    absolute = convergence_round(
+        errors, threshold, start=disturbance_round, sustained=sustained
+    )
+    if absolute is None:
+        return None
+    return absolute - disturbance_round
+
+
+def plateau_error(errors: Sequence[float], tail: int = 5) -> float:
+    """Mean error over the final ``tail`` entries (the figure's plateau level)."""
+    if not errors:
+        raise ValueError("empty error series")
+    if tail < 1:
+        raise ValueError("tail must be >= 1")
+    window = list(errors)[-tail:]
+    return sum(window) / len(window)

@@ -1,0 +1,36 @@
+"""Round-based gossip simulation substrate.
+
+The paper evaluates its protocols with a round-based (synchronous) gossip
+simulator: at every round each participating host selects one (or more)
+peers according to the *gossip environment* and performs the protocol's
+exchange with them.  This package provides that substrate:
+
+* :mod:`repro.simulator.rng` — deterministic, per-purpose random streams;
+* :mod:`repro.simulator.message` — message and bandwidth accounting;
+* :mod:`repro.simulator.host` — per-host bookkeeping (value, state, liveness);
+* :mod:`repro.simulator.protocol` — the abstract protocol interface that both
+  the static baselines and the paper's dynamic protocols implement;
+* :mod:`repro.simulator.engine` — the :class:`Simulation` driver;
+* :mod:`repro.simulator.result` — per-round records and summaries;
+* :mod:`repro.simulator.vectorized` — NumPy kernels used for the large
+  (10^4–10^5 host) uniform-gossip experiments.
+"""
+
+from repro.simulator.engine import Simulation
+from repro.simulator.host import Host
+from repro.simulator.message import BandwidthMeter, Message
+from repro.simulator.protocol import AggregationProtocol, ExchangeProtocol
+from repro.simulator.result import RoundRecord, SimulationResult
+from repro.simulator.rng import RandomStreams
+
+__all__ = [
+    "AggregationProtocol",
+    "BandwidthMeter",
+    "ExchangeProtocol",
+    "Host",
+    "Message",
+    "RandomStreams",
+    "RoundRecord",
+    "Simulation",
+    "SimulationResult",
+]

@@ -1,0 +1,325 @@
+"""The round-based simulation engine.
+
+The engine follows the simulation methodology of the paper's evaluation
+section: time advances in *rounds*; at every round each live host performs
+the protocol's exchange with peers selected by the gossip environment.
+Between rounds, scheduled events (silent failures, joins, value changes)
+mutate the participant set — silently, exactly as a departing wireless
+device would.
+
+Two execution modes are supported:
+
+* ``mode="push"`` — hosts emit payloads that are delivered at the end of
+  the round (Figures 1, 3, 4, 5 of the paper);
+* ``mode="exchange"`` — hosts perform atomic pairwise push/pull exchanges
+  (the Karp et al. optimisation the evaluation uses for Push-Sum-Revert).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simulator.host import Host
+from repro.simulator.message import BandwidthMeter, Message
+from repro.simulator.protocol import AggregationProtocol, ExchangeProtocol
+from repro.simulator.result import RoundRecord, SimulationResult
+from repro.simulator.rng import RandomStreams
+
+__all__ = ["Simulation"]
+
+
+class Simulation:
+    """Drive one aggregation protocol over one gossip environment.
+
+    Parameters
+    ----------
+    protocol:
+        The aggregation protocol to execute (an
+        :class:`~repro.simulator.protocol.AggregationProtocol`).
+    environment:
+        The gossip environment that selects peers each round (see
+        :mod:`repro.environments`).
+    values:
+        Initial host values, one per host identifier ``0..n-1``.  For
+        counting protocols this is typically a vector of ones.
+    seed:
+        Root seed for all randomness (peer selection, sketch identifiers,
+        failures).  Identical seeds give identical runs.
+    mode:
+        ``"push"`` (message gossip) or ``"exchange"`` (pairwise push/pull).
+        ``"exchange"`` requires the protocol to implement
+        :class:`~repro.simulator.protocol.ExchangeProtocol`.
+    events:
+        Scheduled events; each must expose a ``round`` attribute and an
+        ``apply(simulation, round_index)`` method (see :mod:`repro.failures`).
+    group_relative:
+        Compute each host's error against its *group's* aggregate rather than
+        the global aggregate.  Requires an environment that provides groups
+        (trace and neighbourhood environments); this is the error definition
+        used for Fig 11.
+    store_estimates:
+        Retain every host's estimate in every round record (memory-hungry;
+        intended for small runs and debugging).
+
+    Examples
+    --------
+    >>> from repro.core import PushSumRevert
+    >>> from repro.environments import UniformEnvironment
+    >>> sim = Simulation(PushSumRevert(reversion=0.0), UniformEnvironment(64),
+    ...                  values=[1.0] * 32 + [3.0] * 32, seed=3, mode="exchange")
+    >>> result = sim.run(rounds=25)
+    >>> round(result.final_truth(), 3)
+    2.0
+    """
+
+    def __init__(
+        self,
+        protocol: AggregationProtocol,
+        environment,
+        values: Sequence[float],
+        *,
+        seed: int = 0,
+        mode: str = "push",
+        events: Optional[Iterable] = None,
+        group_relative: bool = False,
+        store_estimates: bool = False,
+    ):
+        if mode not in ("push", "exchange"):
+            raise ValueError(f"unknown mode {mode!r}; expected 'push' or 'exchange'")
+        if mode == "exchange" and not (
+            isinstance(protocol, ExchangeProtocol)
+            and getattr(protocol, "supports_exchange", True)
+        ):
+            raise TypeError(
+                f"{type(protocol).__name__} does not support push/pull exchanges; "
+                "use mode='push'"
+            )
+        if group_relative and not getattr(environment, "provides_groups", False):
+            raise ValueError(
+                "group_relative=True requires an environment that defines groups "
+                "(trace or neighbourhood environments)"
+            )
+        self.protocol = protocol
+        self.environment = environment
+        self.mode = mode
+        self.streams = RandomStreams(seed)
+        self.events = sorted(events or [], key=lambda event: event.round)
+        self.group_relative = group_relative
+        self.store_estimates = store_estimates
+        self.bandwidth = BandwidthMeter()
+        self.hosts: Dict[int, Host] = {}
+        self.round_index = 0
+        self._next_host_id = 0
+        self._init_rng = self.streams.get("init")
+        self._peer_rng = self.streams.get("peers")
+        self._protocol_rng = self.streams.get("protocol")
+        for value in values:
+            self.add_host(float(value), round_index=0)
+        self.result = SimulationResult(
+            protocol_name=protocol.name,
+            aggregate=protocol.aggregate,
+            seed=self.streams.seed,
+            metadata={
+                "mode": mode,
+                "environment": type(environment).__name__,
+                "n_initial": len(self.hosts),
+                "protocol_params": protocol.describe(),
+            },
+        )
+
+    # ----------------------------------------------------------- population
+    def add_host(self, value: float, round_index: Optional[int] = None) -> Host:
+        """Create a new live host with ``value`` and protocol state."""
+        if round_index is None:
+            round_index = self.round_index
+        host_id = self._next_host_id
+        self._next_host_id += 1
+        host = Host(host_id=host_id, value=value, joined_round=round_index)
+        host.state = self.protocol.create_state(host_id, value, self._init_rng)
+        self.hosts[host_id] = host
+        if hasattr(self.environment, "register_host"):
+            self.environment.register_host(host_id)
+        return host
+
+    def fail_host(self, host_id: int, round_index: Optional[int] = None) -> None:
+        """Silently fail ``host_id`` (it stops sending, receiving and counting)."""
+        if round_index is None:
+            round_index = self.round_index
+        self.hosts[host_id].fail(round_index)
+
+    def alive_hosts(self) -> List[Host]:
+        """Live hosts in identifier order."""
+        return [host for host in self.hosts.values() if host.alive]
+
+    def alive_ids(self) -> List[int]:
+        """Identifiers of live hosts in ascending order."""
+        return [host.host_id for host in self.hosts.values() if host.alive]
+
+    # ----------------------------------------------------------------- truth
+    def _truth_for(self, host_ids: Sequence[int]) -> float:
+        """Correct aggregate over ``host_ids`` for the protocol's aggregate kind."""
+        if not host_ids:
+            return float("nan")
+        kind = self.protocol.aggregate
+        if kind == "count":
+            return float(len(host_ids))
+        values = [self.hosts[host_id].value for host_id in host_ids]
+        if kind == "sum":
+            return float(sum(values))
+        if kind == "average":
+            return float(sum(values) / len(values))
+        if kind == "max":
+            return float(max(values))
+        if kind == "min":
+            return float(min(values))
+        raise ValueError(f"unknown aggregate kind {kind!r}")
+
+    # ------------------------------------------------------------------ run
+    def run(self, rounds: int) -> SimulationResult:
+        """Execute ``rounds`` additional rounds and return the result so far."""
+        for _ in range(rounds):
+            self.step()
+        return self.result
+
+    def step(self) -> RoundRecord:
+        """Execute exactly one gossip round and return its record."""
+        t = self.round_index
+        self._apply_events(t)
+        alive = self.alive_ids()
+        alive_set = set(alive)
+        received_counts: Dict[int, int] = {host_id: 0 for host_id in alive}
+
+        for host_id in alive:
+            self.protocol.begin_round(self.hosts[host_id].state, t, self._protocol_rng)
+
+        if self.mode == "push":
+            self._push_round(alive, alive_set, received_counts, t)
+        else:
+            self._exchange_round(alive, alive_set, received_counts, t)
+
+        for host_id in alive:
+            self.protocol.finalize_round(
+                self.hosts[host_id].state, received_counts[host_id], self._protocol_rng
+            )
+
+        record = self._record_round(alive, t)
+        self.result.append(record)
+        self.round_index += 1
+        return record
+
+    # ----------------------------------------------------------- round bodies
+    def _push_round(
+        self,
+        alive: List[int],
+        alive_set: set,
+        received_counts: Dict[int, int],
+        t: int,
+    ) -> None:
+        inboxes: Dict[int, List] = {host_id: [] for host_id in alive}
+        for host_id in alive:
+            peers = self.environment.select_peers(
+                host_id, alive_set, t, self.protocol.fanout, self._peer_rng
+            )
+            payloads = self.protocol.make_payloads(
+                self.hosts[host_id].state, peers, self._protocol_rng
+            )
+            for destination, payload in payloads:
+                target = host_id if destination is None else destination
+                message = Message(host_id, target, payload, t)
+                self.bandwidth.record(message, self.protocol.payload_size(payload))
+                if target in alive_set:
+                    inboxes[target].append(payload)
+                    received_counts[target] += 1
+                # Payloads addressed to failed hosts are silently lost: this is
+                # exactly the mass-leaves-the-system behaviour of a silent
+                # departure mid-computation.
+        for host_id in alive:
+            self.protocol.integrate(
+                self.hosts[host_id].state, inboxes[host_id], self._protocol_rng
+            )
+
+    def _exchange_round(
+        self,
+        alive: List[int],
+        alive_set: set,
+        received_counts: Dict[int, int],
+        t: int,
+    ) -> None:
+        order = list(alive)
+        self._peer_rng.shuffle(order)
+        for host_id in order:
+            if not self.hosts[host_id].alive:
+                continue
+            peers = self.environment.select_peers(host_id, alive_set, t, 1, self._peer_rng)
+            if not peers:
+                continue
+            peer_id = peers[0]
+            if peer_id == host_id or peer_id not in alive_set:
+                continue
+            state_a = self.hosts[host_id].state
+            state_b = self.hosts[peer_id].state
+            size = self.protocol.exchange_size(state_a, state_b)
+            self.protocol.exchange(state_a, state_b, self._protocol_rng)
+            self.bandwidth.record_exchange(t, host_id, peer_id, size)
+            received_counts[host_id] += 1
+            received_counts[peer_id] += 1
+
+    # --------------------------------------------------------------- metrics
+    def _record_round(self, alive: List[int], t: int) -> RoundRecord:
+        estimates = {
+            host_id: float(self.protocol.estimate(self.hosts[host_id].state))
+            for host_id in alive
+        }
+        mean_group_size: Optional[float] = None
+        if self.group_relative:
+            groups = self.environment.groups(set(alive), t)
+            truth_by_host: Dict[int, float] = {}
+            sizes: List[int] = []
+            for group in groups:
+                members = [host_id for host_id in group if host_id in estimates]
+                if not members:
+                    continue
+                group_truth = self._truth_for(members)
+                sizes.append(len(members))
+                for member in members:
+                    truth_by_host[member] = group_truth
+            mean_group_size = float(np.mean(sizes)) if sizes else 0.0
+            deltas = [
+                estimates[host_id] - truth_by_host[host_id]
+                for host_id in estimates
+                if host_id in truth_by_host
+            ]
+            truth = float(np.mean(list(truth_by_host.values()))) if truth_by_host else float("nan")
+        else:
+            truth = self._truth_for(alive)
+            deltas = [estimate - truth for estimate in estimates.values()]
+
+        if deltas:
+            deltas_arr = np.asarray(deltas, dtype=float)
+            stddev_error = float(np.sqrt(np.mean(deltas_arr**2)))
+            max_abs_error = float(np.max(np.abs(deltas_arr)))
+            mean_abs_error = float(np.mean(np.abs(deltas_arr)))
+        else:
+            stddev_error = max_abs_error = mean_abs_error = float("nan")
+        mean_estimate = float(np.mean(list(estimates.values()))) if estimates else float("nan")
+
+        return RoundRecord(
+            round_index=t,
+            truth=truth,
+            n_alive=len(alive),
+            mean_estimate=mean_estimate,
+            stddev_error=stddev_error,
+            max_abs_error=max_abs_error,
+            mean_abs_error=mean_abs_error,
+            bytes_sent=self.bandwidth.bytes_in_round(t),
+            estimates=dict(estimates) if self.store_estimates else None,
+            group_sizes=mean_group_size,
+        )
+
+    # ---------------------------------------------------------------- events
+    def _apply_events(self, t: int) -> None:
+        for event in self.events:
+            if event.round == t:
+                event.apply(self, t)

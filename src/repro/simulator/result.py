@@ -1,0 +1,213 @@
+"""Per-round records and end-of-run summaries produced by the engine."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["RoundRecord", "SimulationResult"]
+
+
+@dataclass
+class RoundRecord:
+    """Everything the engine measured at the end of one gossip round.
+
+    Attributes
+    ----------
+    round_index:
+        Zero-based round number.
+    truth:
+        The correct value of the aggregate over the hosts alive at the end of
+        the round (for group-relative runs this is the *population-weighted*
+        mean of the per-group truths and is reported for reference only —
+        ``stddev_error`` is always computed against each host's own truth).
+    n_alive:
+        Number of live hosts.
+    mean_estimate:
+        Mean of the live hosts' estimates.
+    stddev_error:
+        The paper's error metric: the root-mean-square deviation of the live
+        hosts' estimates from the correct value ("standard deviation from the
+        correct value").
+    max_abs_error / mean_abs_error:
+        Additional error summaries used by some analyses.
+    bytes_sent:
+        Radio bytes placed on the network during the round.
+    estimates:
+        Per-host estimates, retained only when the engine was created with
+        ``store_estimates=True`` (small runs / debugging).
+    group_sizes:
+        Mean group size when the run is group-relative (trace environments),
+        otherwise ``None``.  This is the "Avg Group Size" series of Fig 11.
+    """
+
+    round_index: int
+    truth: float
+    n_alive: int
+    mean_estimate: float
+    stddev_error: float
+    max_abs_error: float
+    mean_abs_error: float
+    bytes_sent: int = 0
+    estimates: Optional[Dict[int, float]] = None
+    group_sizes: Optional[float] = None
+
+
+@dataclass
+class SimulationResult:
+    """The full trajectory of one simulation run.
+
+    The result is a thin, list-backed container designed to be cheap to
+    produce inside benchmark loops while still convenient to analyse: all the
+    per-round series are exposed as plain lists (``errors()``, ``truths()``,
+    ...), and a couple of summary helpers answer the questions the paper's
+    figures ask (convergence round, plateau error).
+    """
+
+    protocol_name: str
+    aggregate: str
+    seed: int
+    rounds: List[RoundRecord] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- recording
+    def append(self, record: RoundRecord) -> None:
+        """Append one round's record (used by the engine)."""
+        self.rounds.append(record)
+
+    # ---------------------------------------------------------------- series
+    def round_indices(self) -> List[int]:
+        """Round numbers in order."""
+        return [record.round_index for record in self.rounds]
+
+    def errors(self) -> List[float]:
+        """Per-round standard deviation from the correct value."""
+        return [record.stddev_error for record in self.rounds]
+
+    def truths(self) -> List[float]:
+        """Per-round correct aggregate values."""
+        return [record.truth for record in self.rounds]
+
+    def mean_estimates(self) -> List[float]:
+        """Per-round mean host estimate."""
+        return [record.mean_estimate for record in self.rounds]
+
+    def alive_counts(self) -> List[int]:
+        """Per-round number of live hosts."""
+        return [record.n_alive for record in self.rounds]
+
+    def bytes_per_round(self) -> List[int]:
+        """Per-round bytes placed on the simulated radio."""
+        return [record.bytes_sent for record in self.rounds]
+
+    def group_size_series(self) -> List[Optional[float]]:
+        """Per-round mean group size (``None`` entries for non-trace runs)."""
+        return [record.group_sizes for record in self.rounds]
+
+    # -------------------------------------------------------------- summaries
+    def final_record(self) -> RoundRecord:
+        """The last recorded round."""
+        if not self.rounds:
+            raise ValueError("simulation produced no rounds")
+        return self.rounds[-1]
+
+    def final_error(self) -> float:
+        """Standard deviation from truth at the end of the run."""
+        return self.final_record().stddev_error
+
+    def mean_estimate(self) -> float:
+        """Mean host estimate at the end of the run."""
+        return self.final_record().mean_estimate
+
+    def final_truth(self) -> float:
+        """Correct aggregate at the end of the run."""
+        return self.final_record().truth
+
+    def convergence_round(
+        self,
+        threshold: float,
+        *,
+        relative: bool = False,
+        start: int = 0,
+        sustained: int = 1,
+    ) -> Optional[int]:
+        """First round (>= ``start``) whose error stays below ``threshold``.
+
+        Parameters
+        ----------
+        threshold:
+            Error bound.  When ``relative`` is true the bound is interpreted
+            as a fraction of the round's truth (e.g. ``0.05`` = 5 %).
+        sustained:
+            Number of consecutive rounds that must satisfy the bound; guards
+            against declaring convergence on a transient dip.
+
+        Returns ``None`` when the run never satisfies the bound.
+        """
+        run_length = 0
+        for record in self.rounds:
+            if record.round_index < start:
+                continue
+            bound = threshold * abs(record.truth) if relative else threshold
+            if record.stddev_error <= bound:
+                run_length += 1
+                if run_length >= sustained:
+                    return record.round_index - sustained + 1
+            else:
+                run_length = 0
+        return None
+
+    def plateau_error(self, tail: int = 5) -> float:
+        """Mean error over the last ``tail`` rounds (the figure's plateau)."""
+        if not self.rounds:
+            raise ValueError("simulation produced no rounds")
+        tail_records = self.rounds[-tail:]
+        return sum(record.stddev_error for record in tail_records) / len(tail_records)
+
+    def error_at(self, round_index: int) -> float:
+        """Error recorded at ``round_index`` (exact match required)."""
+        for record in self.rounds:
+            if record.round_index == round_index:
+                return record.stddev_error
+        raise KeyError(f"round {round_index} was not recorded")
+
+    def total_bytes(self) -> int:
+        """Total radio bytes over the whole run."""
+        return sum(record.bytes_sent for record in self.rounds)
+
+    def as_dict(self) -> dict:
+        """A JSON-friendly representation (used by the CLI and EXPERIMENTS.md)."""
+        return {
+            "protocol": self.protocol_name,
+            "aggregate": self.aggregate,
+            "seed": self.seed,
+            "metadata": dict(self.metadata),
+            "rounds": [
+                {
+                    "round": record.round_index,
+                    "truth": record.truth,
+                    "n_alive": record.n_alive,
+                    "mean_estimate": record.mean_estimate,
+                    "stddev_error": record.stddev_error,
+                    "bytes_sent": record.bytes_sent,
+                }
+                for record in self.rounds
+            ],
+        }
+
+    # ------------------------------------------------------------- utilities
+    @staticmethod
+    def stddev_from_truth(estimates: Sequence[float], truth: float) -> float:
+        """Root-mean-square deviation of ``estimates`` from ``truth``.
+
+        This is the error statistic every evaluation figure in the paper
+        plots ("the standard deviation from the correct value").
+        """
+        if not estimates:
+            return float("nan")
+        total = 0.0
+        for estimate in estimates:
+            delta = estimate - truth
+            total += delta * delta
+        return math.sqrt(total / len(estimates))

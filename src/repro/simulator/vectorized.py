@@ -1,0 +1,425 @@
+"""Vectorised NumPy kernels for large uniform-gossip experiments.
+
+The agent-based engine (:mod:`repro.simulator.engine`) is the reference
+implementation: it runs any protocol over any environment with per-host
+objects, which is ideal for the small trace-driven populations of Fig 11
+but too slow for the 10⁴–10⁵-host uniform-gossip sweeps of Figs 6, 8, 9
+and 10.  The kernels here re-implement exactly two protocols —
+Push-Sum-Revert (with all its optimisations) and Count-Sketch-Reset — as
+array programs over the whole population, restricted to the uniform
+environment.  Unit tests cross-check the kernels against the agent-based
+implementations on small populations.
+
+Differences from the agent engine worth knowing about:
+
+* push/pull is realised as a random perfect matching of the live hosts per
+  round (every host takes part in exactly one pairwise exchange), rather
+  than "every host contacts one random peer" with incidental collisions.
+  Both schemes mix mass at the same rate and the matching form vectorises
+  exactly.
+* failures are applied by masking hosts out; their mass/counters simply
+  stop participating, which is precisely the silent-departure semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cutoff import default_cutoff
+from repro.sketches.fm_sketch import PHI
+
+__all__ = ["VectorizedPushSumRevert", "VectorizedCountSketchReset"]
+
+#: Sentinel for "never heard of" in the vectorised counter kernel (int16-safe).
+_COUNTER_INFINITY = np.int16(30_000)
+
+
+class VectorizedPushSumRevert:
+    """Array implementation of Push-Sum(-Revert) under uniform gossip.
+
+    Parameters
+    ----------
+    values:
+        Initial host values.
+    reversion:
+        The reversion constant λ (0 = static Push-Sum).
+    mode:
+        ``"pushpull"`` (random perfect matching per round; the evaluation's
+        default), ``"push"`` (each host pushes half its mass to one random
+        peer), or ``"full-transfer"`` (the Figure 4 optimisation).
+    parcels, history:
+        Full-Transfer parameters ``N`` and ``T``.
+    adaptive:
+        Indegree-adaptive reversion (push and full-transfer modes only;
+        under the matching-based push/pull every host has indegree 1, so the
+        adaptive rule coincides with the fixed rule).
+    seed:
+        Randomness seed.
+    """
+
+    def __init__(
+        self,
+        values: Sequence[float],
+        reversion: float = 0.0,
+        *,
+        mode: str = "pushpull",
+        parcels: int = 4,
+        history: int = 3,
+        adaptive: bool = False,
+        seed: int = 0,
+    ):
+        if mode not in ("push", "pushpull", "full-transfer"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if not 0.0 <= reversion <= 1.0:
+            raise ValueError("reversion must be in [0, 1]")
+        if parcels < 1 or history < 1:
+            raise ValueError("parcels and history must be >= 1")
+        self.initial = np.asarray(list(values), dtype=float)
+        self.n = self.initial.size
+        if self.n < 1:
+            raise ValueError("need at least one host")
+        self.reversion = float(reversion)
+        self.mode = mode
+        self.parcels = int(parcels)
+        self.history = int(history)
+        self.adaptive = bool(adaptive)
+        self.rng = np.random.default_rng(seed)
+        self.alive = np.ones(self.n, dtype=bool)
+        self.weight = np.ones(self.n, dtype=float)
+        self.total = self.initial.copy()
+        self.round_index = 0
+        # Full-Transfer history ring: most recent mass-bearing rounds first.
+        self._history_weight = np.zeros((self.n, self.history), dtype=float)
+        self._history_total = np.zeros((self.n, self.history), dtype=float)
+        self._history_filled = np.zeros(self.n, dtype=np.int64)
+        self._last_estimate = self.initial.copy()
+
+    # ------------------------------------------------------------------ steps
+    def step(self) -> None:
+        """Execute one gossip round over the live hosts."""
+        alive_idx = np.nonzero(self.alive)[0]
+        if alive_idx.size >= 2:
+            if self.mode == "pushpull":
+                self._step_matching(alive_idx)
+            elif self.mode == "push":
+                self._step_push(alive_idx)
+            else:
+                self._step_full_transfer(alive_idx)
+        adaptive_push = self.adaptive and self.mode == "push"
+        if self.mode != "full-transfer" and self.reversion > 0.0 and not adaptive_push:
+            # (Adaptive push mode applies its per-indegree revert inside
+            # _step_push, so the fixed revert is skipped for it.)
+            lam = self.reversion
+            self.weight[alive_idx] = lam + (1.0 - lam) * self.weight[alive_idx]
+            self.total[alive_idx] = (
+                lam * self.initial[alive_idx] + (1.0 - lam) * self.total[alive_idx]
+            )
+        self._refresh_last_estimates(alive_idx)
+        self.round_index += 1
+
+    def _step_matching(self, alive_idx: np.ndarray) -> None:
+        order = self.rng.permutation(alive_idx)
+        pair_count = order.size // 2
+        left = order[:pair_count]
+        right = order[pair_count : 2 * pair_count]
+        mean_weight = (self.weight[left] + self.weight[right]) / 2.0
+        mean_total = (self.total[left] + self.total[right]) / 2.0
+        self.weight[left] = mean_weight
+        self.weight[right] = mean_weight
+        self.total[left] = mean_total
+        self.total[right] = mean_total
+
+    def _step_push(self, alive_idx: np.ndarray) -> None:
+        targets = alive_idx[self.rng.integers(0, alive_idx.size, size=alive_idx.size)]
+        outgoing_weight = self.weight[alive_idx] / 2.0
+        outgoing_total = self.total[alive_idx] / 2.0
+        new_weight = np.zeros(self.n, dtype=float)
+        new_total = np.zeros(self.n, dtype=float)
+        # Half the mass stays home, half lands at the target (which may be the
+        # sender itself — self-selection is allowed in uniform push gossip).
+        np.add.at(new_weight, alive_idx, outgoing_weight)
+        np.add.at(new_total, alive_idx, outgoing_total)
+        np.add.at(new_weight, targets, outgoing_weight)
+        np.add.at(new_total, targets, outgoing_total)
+        received = np.zeros(self.n, dtype=np.int64)
+        np.add.at(received, targets, 1)
+        received[alive_idx] += 1  # the self-message
+        self.weight[alive_idx] = new_weight[alive_idx]
+        self.total[alive_idx] = new_total[alive_idx]
+        if self.adaptive and self.reversion > 0.0:
+            lam = np.minimum(1.0, 0.5 * self.reversion * received[alive_idx])
+            self.weight[alive_idx] = lam + (1.0 - lam) * self.weight[alive_idx]
+            self.total[alive_idx] = (
+                lam * self.initial[alive_idx] + (1.0 - lam) * self.total[alive_idx]
+            )
+
+    def _step_full_transfer(self, alive_idx: np.ndarray) -> None:
+        lam = self.reversion
+        outgoing_weight = (1.0 - lam) * self.weight[alive_idx] + lam
+        outgoing_total = (1.0 - lam) * self.total[alive_idx] + lam * self.initial[alive_idx]
+        parcel_weight = outgoing_weight / self.parcels
+        parcel_total = outgoing_total / self.parcels
+        new_weight = np.zeros(self.n, dtype=float)
+        new_total = np.zeros(self.n, dtype=float)
+        for _ in range(self.parcels):
+            targets = alive_idx[self.rng.integers(0, alive_idx.size, size=alive_idx.size)]
+            np.add.at(new_weight, targets, parcel_weight)
+            np.add.at(new_total, targets, parcel_total)
+        self.weight[alive_idx] = new_weight[alive_idx]
+        self.total[alive_idx] = new_total[alive_idx]
+        # Record this round in the history of hosts that received any mass.
+        received_mass = np.zeros(self.n, dtype=bool)
+        received_mass[alive_idx] = new_weight[alive_idx] > 1e-12
+        idx = np.nonzero(received_mass)[0]
+        if idx.size:
+            self._history_weight[idx, 1:] = self._history_weight[idx, :-1]
+            self._history_total[idx, 1:] = self._history_total[idx, :-1]
+            self._history_weight[idx, 0] = new_weight[idx]
+            self._history_total[idx, 0] = new_total[idx]
+            self._history_filled[idx] = np.minimum(self._history_filled[idx] + 1, self.history)
+
+    def step_many(self, rounds: int) -> None:
+        """Execute several rounds."""
+        for _ in range(rounds):
+            self.step()
+
+    # --------------------------------------------------------------- failures
+    def fail(self, host_indices: Sequence[int]) -> None:
+        """Silently remove the given hosts from the computation."""
+        indices = np.asarray(list(host_indices), dtype=np.int64)
+        self.alive[indices] = False
+
+    def fail_random_fraction(self, fraction: float) -> np.ndarray:
+        """Fail a uniformly random fraction of the live hosts; returns their indices."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        alive_idx = np.nonzero(self.alive)[0]
+        count = int(round(fraction * alive_idx.size))
+        chosen = self.rng.choice(alive_idx, size=count, replace=False) if count else np.array([], dtype=np.int64)
+        self.alive[chosen] = False
+        return chosen
+
+    def fail_highest_fraction(self, fraction: float) -> np.ndarray:
+        """Fail the highest-valued fraction of live hosts (correlated failure)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        alive_idx = np.nonzero(self.alive)[0]
+        count = int(round(fraction * alive_idx.size))
+        if count == 0:
+            return np.array([], dtype=np.int64)
+        order = alive_idx[np.argsort(self.initial[alive_idx])]
+        chosen = order[-count:]
+        self.alive[chosen] = False
+        return chosen
+
+    # -------------------------------------------------------------- estimates
+    def _refresh_last_estimates(self, alive_idx: np.ndarray) -> None:
+        has_weight = self.weight[alive_idx] > 1e-12
+        idx = alive_idx[has_weight]
+        self._last_estimate[idx] = self.total[idx] / self.weight[idx]
+
+    def estimates(self) -> np.ndarray:
+        """Per-live-host estimates of the network average."""
+        alive_idx = np.nonzero(self.alive)[0]
+        if self.mode == "full-transfer":
+            weight_sum = self._history_weight[alive_idx].sum(axis=1)
+            total_sum = self._history_total[alive_idx].sum(axis=1)
+            estimates = np.where(
+                weight_sum > 1e-12, total_sum / np.maximum(weight_sum, 1e-300), self._last_estimate[alive_idx]
+            )
+            return estimates
+        weight = self.weight[alive_idx]
+        return np.where(
+            weight > 1e-12, self.total[alive_idx] / np.maximum(weight, 1e-300), self._last_estimate[alive_idx]
+        )
+
+    def truth(self) -> float:
+        """The correct average over the currently live hosts."""
+        alive_idx = np.nonzero(self.alive)[0]
+        if alive_idx.size == 0:
+            return float("nan")
+        return float(self.initial[alive_idx].mean())
+
+    def error(self) -> float:
+        """Standard deviation of the live hosts' estimates from the truth."""
+        estimates = self.estimates()
+        if estimates.size == 0:
+            return float("nan")
+        return float(np.sqrt(np.mean((estimates - self.truth()) ** 2)))
+
+
+class VectorizedCountSketchReset:
+    """Array implementation of Count-Sketch-Reset under uniform gossip.
+
+    Parameters
+    ----------
+    n:
+        Number of hosts.
+    bins, bits:
+        Sketch dimensions ``m`` × ``L``.
+    cutoff:
+        Freshness cutoff ``f(k)``; ``None`` disables decay (static
+        Sketch-Count behaviour, the "propagation limiting off" curve of
+        Fig 9).
+    identifiers_per_host:
+        Identifiers registered per host (values > 1 implement
+        multiple-insertion summation of equal integer values, or the
+        100-identifiers-per-device trick of Fig 11).
+    pull:
+        Whether the contacted peer responds with its own array (recommended
+        by the paper; on by default).
+    seed:
+        Randomness seed.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        bins: int = 64,
+        bits: int = 20,
+        cutoff: Optional[Callable[[int], float]] = default_cutoff,
+        identifiers_per_host: int = 1,
+        pull: bool = True,
+        seed: int = 0,
+    ):
+        if n < 1:
+            raise ValueError("need at least one host")
+        if bins < 1 or bits < 1:
+            raise ValueError("bins and bits must be >= 1")
+        if identifiers_per_host < 1:
+            raise ValueError("identifiers_per_host must be >= 1")
+        self.n = int(n)
+        self.bins = int(bins)
+        self.bits = int(bits)
+        self.cutoff = cutoff
+        self.identifiers_per_host = int(identifiers_per_host)
+        self.pull = bool(pull)
+        self.rng = np.random.default_rng(seed)
+        self.alive = np.ones(self.n, dtype=bool)
+        self.round_index = 0
+
+        self.counters = np.full((self.n, self.bins, self.bits), _COUNTER_INFINITY, dtype=np.int16)
+        self.own_mask = np.zeros((self.n, self.bins, self.bits), dtype=bool)
+        self._register_identifiers()
+
+        # With decay disabled the threshold must still exclude the "never
+        # heard of" sentinel, otherwise untouched positions would read as set.
+        no_decay_threshold = float(_COUNTER_INFINITY) - 1.0
+        thresholds = np.array(
+            [
+                no_decay_threshold if cutoff is None else min(float(cutoff(k)), no_decay_threshold)
+                for k in range(self.bits)
+            ],
+            dtype=float,
+        )
+        self._thresholds = thresholds
+
+    def _register_identifiers(self) -> None:
+        for _ in range(self.identifiers_per_host):
+            owned_bins = self.rng.integers(0, self.bins, size=self.n)
+            # Geometric bit selection: P[bit = k] = 2^-(k+1), clamped to L-1.
+            owned_bits = np.minimum(self.rng.geometric(0.5, size=self.n) - 1, self.bits - 1)
+            self.own_mask[np.arange(self.n), owned_bins, owned_bits] = True
+        self.counters[self.own_mask] = 0
+
+    # ------------------------------------------------------------------ steps
+    def step(self) -> None:
+        """Execute one gossip round over the live hosts."""
+        alive_idx = np.nonzero(self.alive)[0]
+        if alive_idx.size == 0:
+            self.round_index += 1
+            return
+        # Phase 1: age every counter except the owned positions of live hosts.
+        live_counters = self.counters[alive_idx]
+        live_counters = np.minimum(live_counters + 1, _COUNTER_INFINITY).astype(np.int16)
+        live_own = self.own_mask[alive_idx]
+        live_counters[live_own] = 0
+        self.counters[alive_idx] = live_counters
+        # Phase 2: gossip.  Each live host sends its array to one random live
+        # peer; receivers take the element-wise min.  With pull enabled the
+        # sender also merges the (pre-round) array of its target.
+        if alive_idx.size >= 2:
+            targets = alive_idx[self.rng.integers(0, alive_idx.size, size=alive_idx.size)]
+            before = self.counters.copy() if self.pull else None
+            np.minimum.at(self.counters, targets, self.counters[alive_idx])
+            if self.pull:
+                # Fancy indexing returns copies, so write the merged result
+                # back explicitly rather than relying on an `out=` view.
+                self.counters[alive_idx] = np.minimum(self.counters[alive_idx], before[targets])
+            # Owned positions stay pinned at zero regardless of merges.
+            self.counters[self.own_mask & self.alive[:, None, None]] = 0
+        self.round_index += 1
+
+    def step_many(self, rounds: int) -> None:
+        """Execute several rounds."""
+        for _ in range(rounds):
+            self.step()
+
+    # --------------------------------------------------------------- failures
+    def fail(self, host_indices: Sequence[int]) -> None:
+        """Silently remove the given hosts."""
+        indices = np.asarray(list(host_indices), dtype=np.int64)
+        self.alive[indices] = False
+
+    def fail_random_fraction(self, fraction: float) -> np.ndarray:
+        """Fail a uniformly random fraction of the live hosts; returns their indices."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        alive_idx = np.nonzero(self.alive)[0]
+        count = int(round(fraction * alive_idx.size))
+        chosen = (
+            self.rng.choice(alive_idx, size=count, replace=False)
+            if count
+            else np.array([], dtype=np.int64)
+        )
+        self.alive[chosen] = False
+        return chosen
+
+    # -------------------------------------------------------------- estimates
+    def bit_image(self) -> np.ndarray:
+        """Derived bit matrix per live host: counter ≤ f(k)."""
+        return self.counters <= self._thresholds[None, None, :]
+
+    def ranks(self) -> np.ndarray:
+        """Per (host, bin) prefix-of-ones length of the derived bit image."""
+        image = self.bit_image()
+        # argmin over a boolean axis returns the first False; all-True rows
+        # return 0 and must be mapped to the full width.
+        first_false = np.argmin(image, axis=2)
+        all_true = image.all(axis=2)
+        return np.where(all_true, self.bits, first_false)
+
+    def estimates(self) -> np.ndarray:
+        """Per-live-host estimates of the live population size (or sum)."""
+        alive_idx = np.nonzero(self.alive)[0]
+        mean_rank = self.ranks()[alive_idx].mean(axis=1)
+        raw = self.bins / PHI * np.exp2(mean_rank)
+        return raw / self.identifiers_per_host
+
+    def truth(self) -> float:
+        """The correct count (number of live hosts)."""
+        return float(self.alive.sum())
+
+    def error(self) -> float:
+        """Standard deviation of the live hosts' estimates from the truth."""
+        estimates = self.estimates()
+        if estimates.size == 0:
+            return float("nan")
+        return float(np.sqrt(np.mean((estimates - self.truth()) ** 2)))
+
+    # ------------------------------------------------------- Fig 6 diagnostics
+    def counter_values_for_bit(self, bit_index: int, *, finite_only: bool = True) -> np.ndarray:
+        """All live hosts' counter values for bit ``bit_index`` (all bins).
+
+        This is the raw data behind Fig 6's per-bit CDFs.
+        """
+        if not 0 <= bit_index < self.bits:
+            raise ValueError(f"bit_index must be in [0, {self.bits})")
+        alive_idx = np.nonzero(self.alive)[0]
+        values = self.counters[alive_idx, :, bit_index].reshape(-1).astype(np.int64)
+        if finite_only:
+            values = values[values < int(_COUNTER_INFINITY)]
+        return values

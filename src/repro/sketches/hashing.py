@@ -1,0 +1,62 @@
+"""Deterministic hashing primitives for counting sketches.
+
+Flajolet–Martin sketches require a function ρ mapping every object ``i``
+to a bit index with the geometric distribution P[ρ(i)=k] = 2^-(k+1),
+*deterministically* — identical objects must map to identical bits, which
+is what makes the sketch duplicate-insensitive.  The canonical definition
+(and the one the paper quotes) is "the index of the first nonzero bit of
+the L-bit cryptographic hash of i", clamped to L when the hash is all
+zeros.  Stochastic averaging additionally assigns each object to one of
+``m`` bins, uniformly and deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Hashable, Tuple
+
+__all__ = ["identifier_hash", "rho", "bin_index", "sketch_coordinates"]
+
+
+def identifier_hash(identifier: Hashable, salt: str = "") -> int:
+    """A stable 256-bit hash of ``identifier`` (independent of PYTHONHASHSEED)."""
+    encoded = f"{salt}|{type(identifier).__name__}|{identifier!r}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(encoded).digest(), "big")
+
+
+def rho(identifier: Hashable, bits: int = 32, salt: str = "") -> int:
+    """Index of the first set bit of the hash of ``identifier`` (0-based).
+
+    Returns a value in ``[0, bits]``; the value ``bits`` is returned in the
+    (astronomically unlikely) case that the low ``bits`` bits of the hash are
+    all zero, matching the paper's definition.
+
+    The distribution over identifiers is P[rho = k] = 2^-(k+1) for k < bits.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    value = identifier_hash(identifier, salt=f"rho:{salt}")
+    for index in range(bits):
+        if value & (1 << index):
+            return index
+    return bits
+
+
+def bin_index(identifier: Hashable, bins: int, salt: str = "") -> int:
+    """Deterministic uniform bin assignment in ``[0, bins)`` (stochastic averaging)."""
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    value = identifier_hash(identifier, salt=f"bin:{salt}")
+    return value % bins
+
+
+def sketch_coordinates(
+    identifier: Hashable, bins: int, bits: int, salt: str = ""
+) -> Tuple[int, int]:
+    """The (bin, bit) pair an identifier occupies in an ``m`` × ``L`` sketch.
+
+    The bin is uniform over ``[0, bins)`` and the bit follows the geometric
+    ρ distribution, both derived deterministically from the identifier so
+    that duplicate insertions are idempotent.
+    """
+    return bin_index(identifier, bins, salt=salt), min(rho(identifier, bits, salt=salt), bits - 1)

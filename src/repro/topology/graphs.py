@@ -1,0 +1,174 @@
+"""Adjacency-map graph generators.
+
+All generators return ``dict[int, set[int]]`` mapping each node identifier
+to the set of its neighbours.  Edges are undirected: ``b in graph[a]``
+implies ``a in graph[b]``.  Node identifiers are ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = [
+    "empty_graph",
+    "complete_graph",
+    "star_graph",
+    "ring_lattice",
+    "grid_graph",
+    "erdos_renyi_graph",
+    "random_geometric_graph",
+    "grid_positions",
+]
+
+Adjacency = Dict[int, Set[int]]
+
+
+def _check_count(n: int) -> None:
+    if n < 0:
+        raise ValueError(f"node count must be non-negative, got {n}")
+
+
+def empty_graph(n: int) -> Adjacency:
+    """``n`` isolated nodes and no edges."""
+    _check_count(n)
+    return {node: set() for node in range(n)}
+
+
+def complete_graph(n: int) -> Adjacency:
+    """Every pair of distinct nodes is connected (uniform-gossip topology)."""
+    _check_count(n)
+    nodes = set(range(n))
+    return {node: nodes - {node} for node in range(n)}
+
+
+def star_graph(n: int, center: int = 0) -> Adjacency:
+    """Node ``center`` connected to every other node; no other edges.
+
+    Models the single-coordinator deployments that the Kostoulas et al.
+    baselines (Hops Sampling, Interval Density) assume.
+    """
+    _check_count(n)
+    if n and not 0 <= center < n:
+        raise ValueError(f"center {center} outside 0..{n - 1}")
+    graph = empty_graph(n)
+    for node in range(n):
+        if node != center:
+            graph[center].add(node)
+            graph[node].add(center)
+    return graph
+
+
+def ring_lattice(n: int, k: int = 1) -> Adjacency:
+    """A ring where each node connects to its ``k`` nearest neighbours per side."""
+    _check_count(n)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    graph = empty_graph(n)
+    for node in range(n):
+        for offset in range(1, k + 1):
+            neighbor = (node + offset) % n
+            if neighbor != node:
+                graph[node].add(neighbor)
+                graph[neighbor].add(node)
+    return graph
+
+
+def grid_positions(width: int, height: int) -> Dict[int, Tuple[int, int]]:
+    """Positions of nodes laid out row-major on a ``width`` × ``height`` grid."""
+    if width < 0 or height < 0:
+        raise ValueError("grid dimensions must be non-negative")
+    return {row * width + col: (col, row) for row in range(height) for col in range(width)}
+
+
+def grid_graph(width: int, height: int, diagonal: bool = False) -> Adjacency:
+    """A 2-D grid with 4-connectivity (8-connectivity when ``diagonal``).
+
+    This is the "hosts distributed evenly in a D-dimensional grid, able to
+    communicate only with adjacent nodes" setting of the paper's spatial
+    gossip discussion (Section IV-A).
+    """
+    positions = grid_positions(width, height)
+    n = width * height
+    graph = empty_graph(n)
+    offsets = [(1, 0), (0, 1)]
+    if diagonal:
+        offsets += [(1, 1), (1, -1)]
+    for node, (col, row) in positions.items():
+        for d_col, d_row in offsets:
+            n_col, n_row = col + d_col, row + d_row
+            if 0 <= n_col < width and 0 <= n_row < height:
+                neighbor = n_row * width + n_col
+                graph[node].add(neighbor)
+                graph[neighbor].add(node)
+    return graph
+
+
+def erdos_renyi_graph(n: int, p: float, seed: Optional[int] = None) -> Adjacency:
+    """G(n, p): each of the n·(n−1)/2 possible edges exists with probability ``p``."""
+    _check_count(n)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    graph = empty_graph(n)
+    if n < 2 or p == 0.0:
+        return graph
+    # Sample the upper triangle in one vectorised draw.
+    i_upper, j_upper = np.triu_indices(n, k=1)
+    mask = rng.random(i_upper.shape[0]) < p
+    for a, b in zip(i_upper[mask], j_upper[mask]):
+        graph[int(a)].add(int(b))
+        graph[int(b)].add(int(a))
+    return graph
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float,
+    seed: Optional[int] = None,
+    *,
+    area: float = 1.0,
+    positions: Optional[Sequence[Tuple[float, float]]] = None,
+) -> Tuple[Adjacency, Dict[int, Tuple[float, float]]]:
+    """Nodes placed uniformly in a square, connected when within ``radius``.
+
+    This is the standard model of wireless range: two devices can exchange
+    gossip when they are physically close.  Returns both the adjacency map
+    and the node positions (used by mobility models and plotting).
+    """
+    _check_count(n)
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    side = math.sqrt(area)
+    rng = np.random.default_rng(seed)
+    if positions is None:
+        coords = rng.random((n, 2)) * side
+    else:
+        coords = np.asarray(positions, dtype=float)
+        if coords.shape != (n, 2):
+            raise ValueError(f"expected {n} positions, got shape {coords.shape}")
+    graph = empty_graph(n)
+    if n >= 2:
+        # Pairwise distances without building an n x n x 2 intermediate for
+        # large n: chunk over rows.
+        chunk = max(1, min(n, 4096))
+        for start in range(0, n, chunk):
+            stop = min(n, start + chunk)
+            block = coords[start:stop]
+            distances = np.sqrt(
+                (block[:, None, 0] - coords[None, :, 0]) ** 2
+                + (block[:, None, 1] - coords[None, :, 1]) ** 2
+            )
+            close = distances <= radius
+            for local_row in range(stop - start):
+                a = start + local_row
+                neighbors = np.nonzero(close[local_row])[0]
+                for b in neighbors:
+                    b = int(b)
+                    if b != a:
+                        graph[a].add(b)
+                        graph[b].add(a)
+    position_map = {node: (float(coords[node, 0]), float(coords[node, 1])) for node in range(n)}
+    return graph, position_map

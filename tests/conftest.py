@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.values import uniform_values
+
+
+@pytest.fixture
+def rng():
+    """A deterministic NumPy generator for tests that need raw randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_values():
+    """Twenty deterministic uniform values in [0, 100)."""
+    return uniform_values(20, seed=7)
+
+
+@pytest.fixture
+def medium_values():
+    """Two hundred deterministic uniform values in [0, 100)."""
+    return uniform_values(200, seed=7)

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_defaults(self):
+        args = build_parser().parse_args(["experiments"])
+        assert args.profile == "quick"
+        assert args.only is None
+
+    def test_experiments_only_list(self):
+        args = build_parser().parse_args(["experiments", "--only", "fig8", "fig9"])
+        assert args.only == ["fig8", "fig9"]
+
+    def test_demo_arguments(self):
+        args = build_parser().parse_args(["demo", "--hosts", "50", "--reversion", "0.2"])
+        assert args.hosts == 50
+        assert args.reversion == 0.2
+
+    def test_trace_dataset_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--dataset", "9"])
+
+
+class TestCommands:
+    def test_demo_runs_and_prints(self, capsys):
+        exit_code = main(["demo", "--hosts", "60", "--rounds", "12", "--failure-round", "5"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Push-Sum-Revert demo" in captured.out
+        assert "stddev error" in captured.out
+
+    def test_trace_summary_runs(self, capsys):
+        exit_code = main(["trace", "--devices", "6", "--hours", "6", "--seed", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "devices" in captured.out
+        assert "avg group size" in captured.out
+
+    def test_trace_csv_output(self, tmp_path, capsys):
+        path = tmp_path / "trace.csv"
+        exit_code = main(
+            ["trace", "--devices", "5", "--hours", "4", "--seed", "2", "--csv", str(path)]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        assert path.exists()
+        assert path.read_text().startswith("device_a")
+
+    def test_experiments_subset_writes_output(self, tmp_path, capsys):
+        output = tmp_path / "report.txt"
+        exit_code = main(
+            [
+                "experiments",
+                "--only",
+                "fig9",
+                "--no-ablations",
+                "--output",
+                str(output),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Figure 9" in captured.out
+        assert output.exists()
+        assert "Figure 9" in output.read_text()

@@ -1,0 +1,213 @@
+"""Tests for the gossip environments."""
+
+import numpy as np
+import pytest
+
+from repro.environments import (
+    NeighborhoodEnvironment,
+    SpatialGridEnvironment,
+    TraceEnvironment,
+    UniformEnvironment,
+)
+from repro.mobility.traces import ContactRecord, ContactTrace
+from repro.topology import grid_graph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestUniformEnvironment:
+    def test_selects_live_peer_not_self(self, rng):
+        env = UniformEnvironment(10)
+        alive = set(range(10))
+        for host in range(10):
+            peers = env.select_peers(host, alive, 0, 1, rng)
+            assert len(peers) == 1
+            assert peers[0] != host
+            assert peers[0] in alive
+
+    def test_never_selects_failed_hosts(self, rng):
+        env = UniformEnvironment(10)
+        alive = {0, 1, 2}
+        for _ in range(50):
+            peers = env.select_peers(0, alive, 0, 1, rng)
+            assert peers[0] in {1, 2}
+
+    def test_multiple_distinct_peers(self, rng):
+        env = UniformEnvironment(20)
+        peers = env.select_peers(0, set(range(20)), 0, 5, rng)
+        assert len(peers) == 5
+        assert len(set(peers)) == 5
+
+    def test_isolated_population_returns_empty(self, rng):
+        env = UniformEnvironment(1)
+        assert env.select_peers(0, {0}, 0, 1, rng) == []
+
+    def test_count_capped_by_population(self, rng):
+        env = UniformEnvironment(3)
+        peers = env.select_peers(0, {0, 1, 2}, 0, 10, rng)
+        assert sorted(peers) == [1, 2]
+
+    def test_register_host_extends_id_space(self, rng):
+        env = UniformEnvironment(3)
+        env.register_host(7)
+        assert env.n == 8
+
+    def test_default_groups_are_global(self, rng):
+        env = UniformEnvironment(5)
+        assert env.groups({0, 1, 2}, 0) == [{0, 1, 2}]
+        assert env.groups(set(), 0) == []
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(ValueError):
+            UniformEnvironment(-1)
+
+
+class TestNeighborhoodEnvironment:
+    def test_peers_restricted_to_neighbors(self, rng):
+        env = NeighborhoodEnvironment(grid_graph(3, 3))
+        alive = set(range(9))
+        for _ in range(20):
+            peers = env.select_peers(4, alive, 0, 1, rng)
+            assert peers[0] in {1, 3, 5, 7}
+
+    def test_dead_neighbors_excluded(self, rng):
+        env = NeighborhoodEnvironment(grid_graph(3, 1))  # path 0-1-2
+        assert env.select_peers(0, {0, 2}, 0, 1, rng) == []
+
+    def test_groups_are_components(self):
+        adjacency = {0: {1}, 1: {0}, 2: {3}, 3: {2}}
+        env = NeighborhoodEnvironment(adjacency)
+        groups = env.groups({0, 1, 2, 3}, 0)
+        assert sorted(sorted(g) for g in groups) == [[0, 1], [2, 3]]
+
+    def test_adjacency_symmetrised(self, rng):
+        env = NeighborhoodEnvironment({0: {1}, 1: set()})
+        assert 0 in env.adjacency[1]
+
+    def test_connect_and_disconnect(self, rng):
+        env = NeighborhoodEnvironment({0: set(), 1: set()})
+        env.connect(0, 1)
+        assert env.select_peers(0, {0, 1}, 0, 1, rng) == [1]
+        env.disconnect(0, 1)
+        assert env.select_peers(0, {0, 1}, 0, 1, rng) == []
+
+    def test_connect_self_loop_rejected(self):
+        env = NeighborhoodEnvironment({0: set()})
+        with pytest.raises(ValueError):
+            env.connect(0, 0)
+
+    def test_register_host_adds_isolated_node(self, rng):
+        env = NeighborhoodEnvironment({0: {1}, 1: {0}})
+        env.register_host(2)
+        assert env.select_peers(2, {0, 1, 2}, 0, 1, rng) == []
+
+
+class TestSpatialGridEnvironment:
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            SpatialGridEnvironment(0, 5)
+
+    def test_peers_are_live_and_distinct(self, rng):
+        env = SpatialGridEnvironment(5, 5)
+        alive = set(range(25))
+        for host in (0, 12, 24):
+            peers = env.select_peers(host, alive, 0, 1, rng)
+            assert all(p in alive and p != host for p in peers)
+
+    def test_walk_peer_reachable_only_through_live_hosts(self, rng):
+        env = SpatialGridEnvironment(3, 1)  # path 0-1-2
+        # Host 1 dead: host 0 can never reach host 2 by walking.
+        for _ in range(30):
+            peers = env.select_peers(0, {0, 2}, 0, 1, rng)
+            assert peers == []
+
+    def test_ring_selection_mode(self, rng):
+        env = SpatialGridEnvironment(5, 5, walk=False)
+        alive = set(range(25))
+        counts = {}
+        for _ in range(200):
+            peers = env.select_peers(12, alive, 0, 1, rng)
+            if peers:
+                counts[peers[0]] = counts.get(peers[0], 0) + 1
+        # Neighbours at distance 1 should dominate under the 1/d^2 law.
+        near = sum(counts.get(p, 0) for p in (7, 11, 13, 17))
+        assert near > sum(counts.values()) * 0.4
+
+    def test_neighbors_are_grid_adjacent(self):
+        env = SpatialGridEnvironment(3, 3)
+        assert sorted(env.neighbors(4, set(range(9)), 0)) == [1, 3, 5, 7]
+
+    def test_groups_follow_grid_components(self):
+        env = SpatialGridEnvironment(3, 1)
+        groups = env.groups({0, 2}, 0)
+        assert sorted(sorted(g) for g in groups) == [[0], [2]]
+
+    def test_register_beyond_grid_rejected(self):
+        env = SpatialGridEnvironment(2, 2)
+        with pytest.raises(ValueError):
+            env.register_host(4)
+
+
+def _two_phase_trace():
+    """Devices 0-1 together for 10 minutes, then 1-2 together for 10 minutes."""
+    records = [
+        ContactRecord(0, 1, 0.0, 600.0),
+        ContactRecord(1, 2, 600.0, 1200.0),
+    ]
+    return ContactTrace(3, records, name="two-phase")
+
+
+class TestTraceEnvironment:
+    def test_round_time_mapping(self):
+        env = TraceEnvironment(_two_phase_trace(), round_seconds=30.0)
+        assert env.time_of_round(0) == 0.0
+        assert env.time_of_round(10) == 300.0
+        assert env.total_rounds() == 41
+
+    def test_peers_follow_current_contacts(self, rng):
+        env = TraceEnvironment(_two_phase_trace(), round_seconds=30.0)
+        alive = {0, 1, 2}
+        assert env.select_peers(0, alive, 5, 1, rng) == [1]
+        assert env.select_peers(2, alive, 5, 1, rng) == []
+        assert env.select_peers(2, alive, 25, 1, rng) == [1]
+        assert env.select_peers(0, alive, 25, 1, rng) == []
+
+    def test_broadcast_returns_all_in_range(self, rng):
+        trace = ContactTrace(
+            3, [ContactRecord(0, 1, 0, 100), ContactRecord(0, 2, 0, 100)], name="star"
+        )
+        env = TraceEnvironment(trace, round_seconds=30.0, broadcast=True)
+        assert sorted(env.select_peers(0, {0, 1, 2}, 0, 1, rng)) == [1, 2]
+
+    def test_groups_use_trailing_window_union(self):
+        env = TraceEnvironment(_two_phase_trace(), round_seconds=30.0, group_window_seconds=600.0)
+        alive = {0, 1, 2}
+        # At t=900s the live window [300, 900] covers the tail of the 0-1
+        # contact and the 1-2 contact, so everybody is one group.
+        groups_mid = env.groups(alive, 30)
+        assert sorted(len(g) for g in groups_mid) == [3]
+        # Shortly after the start only 0-1 have ever met.
+        groups_early = env.groups(alive, 10)
+        assert sorted(len(g) for g in groups_early) == [1, 2]
+
+    def test_groups_include_isolated_hosts_as_singletons(self):
+        env = TraceEnvironment(_two_phase_trace(), round_seconds=30.0)
+        groups = env.groups({0, 1, 2}, 0)
+        assert set().union(*groups) == {0, 1, 2}
+
+    def test_zero_window_uses_instantaneous_adjacency(self):
+        env = TraceEnvironment(_two_phase_trace(), round_seconds=30.0, group_window_seconds=0.0)
+        groups = env.groups({0, 1, 2}, 25)
+        assert {1, 2} in groups
+
+    def test_register_host_beyond_trace_rejected(self):
+        env = TraceEnvironment(_two_phase_trace())
+        with pytest.raises(ValueError):
+            env.register_host(3)
+
+    def test_invalid_round_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEnvironment(_two_phase_trace(), round_seconds=0.0)

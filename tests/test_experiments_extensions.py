@@ -1,0 +1,60 @@
+"""Tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    render_departure_comparison,
+    render_extrema_comparison,
+    run_departure_comparison,
+    run_extrema_comparison,
+)
+
+
+class TestDepartureComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_departure_comparison(n_hosts=150, rounds=40, departure_round=12, seed=1)
+
+    def test_all_protocols_present(self, result):
+        assert set(result.final_errors) == {
+            "push-sum (static)",
+            "push-sum-revert (lambda=0.1)",
+            "count-sketch-reset",
+        }
+        for outcomes in result.final_errors.values():
+            assert set(outcomes) == {"silent", "graceful"}
+
+    def test_graceful_signoff_helps_the_sketch(self, result):
+        sketch = result.final_errors["count-sketch-reset"]
+        assert sketch["graceful"] <= sketch["silent"] + 1e-6
+
+    def test_reverting_protocol_beats_static_under_silent_failure(self, result):
+        static = result.final_errors["push-sum (static)"]["silent"]
+        revert = result.final_errors["push-sum-revert (lambda=0.1)"]["silent"]
+        assert revert < static
+
+    def test_render(self, result):
+        text = render_departure_comparison(result)
+        assert "graceful sign-off" in text
+        assert "push-sum-revert" in text
+
+
+class TestExtremaComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_extrema_comparison(n_hosts=120, rounds=50, departure_round=12, cutoff=10, seed=1)
+
+    def test_series_lengths(self, result):
+        assert len(result.static_errors) == 50
+        assert len(result.reset_errors) == 50
+
+    def test_static_keeps_the_stale_maximum(self, result):
+        assert result.static_final() > 0.0
+
+    def test_reset_forgets_the_stale_maximum(self, result):
+        assert result.reset_final() < result.static_final()
+        assert result.reset_final() < 2.0
+
+    def test_render(self, result):
+        text = render_extrema_comparison(result)
+        assert "extrema-reset" in text

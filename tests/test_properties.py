@@ -1,0 +1,266 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import cdf_at, empirical_cdf
+from repro.baselines.push_sum import PushSum
+from repro.core.push_sum_revert import PushSumRevert
+from repro.mobility.traces import ContactRecord, ContactTrace
+from repro.simulator.vectorized import VectorizedPushSumRevert
+from repro.sketches.counter_matrix import CounterMatrix, INFINITY
+from repro.sketches.fm_sketch import FMSketch, rank_of_bits
+from repro.sketches.hashing import bin_index, rho
+
+# A modest profile keeps the suite fast while still exploring a useful space.
+COMMON_SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+values_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=40,
+)
+
+
+class TestMassConservationProperties:
+    @COMMON_SETTINGS
+    @given(values=values_strategy, reversion=st.floats(min_value=0.0, max_value=1.0))
+    def test_revert_step_conserves_population_mass(self, values, reversion):
+        """Applying the revert step to every host leaves total mass unchanged
+        as long as the current totals sum to the initial totals (Section III)."""
+        protocol = PushSumRevert(reversion)
+        rng = np.random.default_rng(0)
+        states = [protocol.create_state(i, v, rng) for i, v in enumerate(values)]
+        # Redistribute mass arbitrarily while conserving the totals.
+        permutation = np.random.default_rng(1).permutation(len(values))
+        originals = [(s.weight, s.total) for s in states]
+        for state, source in zip(states, permutation):
+            state.weight, state.total = originals[source]
+        total_before = sum(s.total for s in states)
+        weight_before = sum(s.weight for s in states)
+        for state in states:
+            protocol.finalize_round(state, 1, rng)
+        assert sum(s.total for s in states) == pytest.approx(total_before, rel=1e-9, abs=1e-9)
+        assert sum(s.weight for s in states) == pytest.approx(weight_before, rel=1e-9, abs=1e-9)
+
+    @COMMON_SETTINGS
+    @given(values=values_strategy)
+    def test_pairwise_exchange_conserves_mass(self, values):
+        protocol = PushSum()
+        rng = np.random.default_rng(0)
+        states = [protocol.create_state(i, v, rng) for i, v in enumerate(values)]
+        total_before = sum(s.total for s in states)
+        order = np.random.default_rng(2).permutation(len(states))
+        for a, b in zip(order[::2], order[1::2]):
+            protocol.exchange(states[a], states[b], rng)
+        assert sum(s.total for s in states) == pytest.approx(total_before, rel=1e-9)
+
+    @COMMON_SETTINGS
+    @given(
+        values=values_strategy,
+        reversion=st.floats(min_value=0.0, max_value=0.9),
+        rounds=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_vectorized_kernel_conserves_mass_without_failures(
+        self, values, reversion, rounds, seed
+    ):
+        kernel = VectorizedPushSumRevert(values, reversion, mode="pushpull", seed=seed)
+        total_before = kernel.total.sum()
+        kernel.step_many(rounds)
+        assert kernel.total.sum() == pytest.approx(total_before, rel=1e-9)
+
+    @COMMON_SETTINGS
+    @given(values=values_strategy, seed=st.integers(min_value=0, max_value=1000))
+    def test_estimates_bounded_by_value_range(self, values, seed):
+        """Push/pull mass averaging keeps every estimate inside the convex hull
+        of the initial values (no reversion, no failures)."""
+        kernel = VectorizedPushSumRevert(values, 0.0, mode="pushpull", seed=seed)
+        kernel.step_many(5)
+        estimates = kernel.estimates()
+        assert estimates.min() >= min(values) - 1e-9
+        assert estimates.max() <= max(values) + 1e-9
+
+
+class TestSketchProperties:
+    identifiers = st.lists(st.integers(min_value=0, max_value=10_000), min_size=0, max_size=200)
+
+    @COMMON_SETTINGS
+    @given(a=identifiers, b=identifiers)
+    def test_union_commutative(self, a, b):
+        left = FMSketch(bins=8, bits=20)
+        right = FMSketch(bins=8, bits=20)
+        left.insert_many(a)
+        right.insert_many(b)
+        assert left.union(right) == right.union(left)
+
+    @COMMON_SETTINGS
+    @given(a=identifiers)
+    def test_union_idempotent(self, a):
+        sketch = FMSketch(bins=8, bits=20)
+        sketch.insert_many(a)
+        assert sketch.union(sketch) == sketch
+
+    @COMMON_SETTINGS
+    @given(a=identifiers, b=identifiers)
+    def test_union_estimate_at_least_each_side(self, a, b):
+        left = FMSketch(bins=8, bits=20)
+        right = FMSketch(bins=8, bits=20)
+        left.insert_many(a)
+        right.insert_many(b)
+        union = left.union(right)
+        assert union.estimate() >= left.estimate() - 1e-9
+        assert union.estimate() >= right.estimate() - 1e-9
+
+    @COMMON_SETTINGS
+    @given(identifier=st.one_of(st.integers(), st.text(max_size=20)), bits=st.integers(2, 64))
+    def test_rho_and_bin_are_stable_and_bounded(self, identifier, bits):
+        assert 0 <= rho(identifier, bits) <= bits
+        assert rho(identifier, bits) == rho(identifier, bits)
+        assert 0 <= bin_index(identifier, 7) < 7
+
+    @COMMON_SETTINGS
+    @given(bits=st.lists(st.booleans(), max_size=30))
+    def test_rank_of_bits_counts_leading_ones(self, bits):
+        rank = rank_of_bits(bits)
+        assert all(bits[:rank])
+        assert rank == len(bits) or not bits[rank]
+
+
+class TestCounterMatrixProperties:
+    owned_strategy = st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 7)), min_size=0, max_size=6
+    )
+
+    @COMMON_SETTINGS
+    @given(owned_a=owned_strategy, owned_b=owned_strategy, rounds=st.integers(0, 5))
+    def test_merge_min_is_commutative_on_counters(self, owned_a, owned_b, rounds):
+        def build(owned):
+            matrix = CounterMatrix(4, 8, owned)
+            for _ in range(rounds):
+                matrix.increment()
+            return matrix
+
+        a1, b1 = build(owned_a), build(owned_b)
+        a2, b2 = build(owned_a), build(owned_b)
+        a1.merge_min(b1)
+        b2.merge_min(a2)
+        # Outside the owned positions (which each side pins to zero for
+        # itself), the merged counters agree.
+        mask = np.ones((4, 8), dtype=bool)
+        for position in set(owned_a) | set(owned_b):
+            mask[position] = False
+        assert np.array_equal(a1.counters[mask], b2.counters[mask])
+
+    @COMMON_SETTINGS
+    @given(owned=owned_strategy, rounds=st.integers(0, 10))
+    def test_counters_never_negative_and_owned_stay_zero(self, owned, rounds):
+        matrix = CounterMatrix(4, 8, owned)
+        for _ in range(rounds):
+            matrix.increment()
+        assert (matrix.counters >= 0).all()
+        for position in owned:
+            assert matrix.counters[position] == 0
+
+    @COMMON_SETTINGS
+    @given(owned=owned_strategy, rounds=st.integers(1, 10))
+    def test_finite_counters_bounded_by_elapsed_rounds(self, owned, rounds):
+        matrix = CounterMatrix(4, 8, owned)
+        for _ in range(rounds):
+            matrix.increment()
+        finite = matrix.counters[matrix.counters < INFINITY]
+        if finite.size:
+            assert finite.max() <= rounds
+
+    @COMMON_SETTINGS
+    @given(owned=owned_strategy)
+    def test_merge_with_self_is_identity(self, owned):
+        matrix = CounterMatrix(4, 8, owned)
+        matrix.increment()
+        clone = matrix.copy()
+        matrix.merge_min(clone)
+        assert matrix == clone
+
+
+class TestTraceProperties:
+    contact_strategy = st.lists(
+        st.tuples(
+            st.integers(0, 5),
+            st.integers(0, 5),
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+        ),
+        min_size=0,
+        max_size=30,
+    )
+
+    @staticmethod
+    def _build_trace(raw):
+        records = [
+            ContactRecord(a, b, start, start + duration)
+            for a, b, start, duration in raw
+            if a != b
+        ]
+        return ContactTrace(6, records)
+
+    @COMMON_SETTINGS
+    @given(raw=contact_strategy, time=st.floats(min_value=0.0, max_value=1500.0))
+    def test_adjacency_is_symmetric(self, raw, time):
+        trace = self._build_trace(raw)
+        adjacency = trace.adjacency_at(time)
+        for node, neighbors in adjacency.items():
+            for neighbor in neighbors:
+                assert node in adjacency[neighbor]
+
+    @COMMON_SETTINGS
+    @given(raw=contact_strategy, time=st.floats(min_value=0.0, max_value=1500.0))
+    def test_window_union_contains_instantaneous_adjacency(self, raw, time):
+        trace = self._build_trace(raw)
+        instant = trace.adjacency_at(time)
+        window = trace.adjacency_between(max(0.0, time - 100.0), time + 1e-6)
+        for node, neighbors in instant.items():
+            assert neighbors <= window[node]
+
+    @COMMON_SETTINGS
+    @given(raw=contact_strategy)
+    def test_normalised_records_are_disjoint_per_pair(self, raw):
+        trace = self._build_trace(raw)
+        by_pair = {}
+        for record in trace.records:
+            by_pair.setdefault((record.a, record.b), []).append(record)
+        for records in by_pair.values():
+            records.sort(key=lambda r: r.start)
+            for first, second in zip(records, records[1:]):
+                assert first.end < second.start or first.end <= second.start
+
+    @COMMON_SETTINGS
+    @given(raw=contact_strategy)
+    def test_groups_partition_all_devices(self, raw):
+        trace = self._build_trace(raw)
+        groups = trace.groups_at(trace.duration, window=trace.duration + 1.0)
+        seen = sorted(device for group in groups for device in group)
+        assert seen == sorted(set(seen))
+        assert set(seen) == set(range(6))
+
+
+class TestCDFProperties:
+    samples = st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=100
+    )
+
+    @COMMON_SETTINGS
+    @given(values=samples)
+    def test_cdf_monotone_and_ends_at_one(self, values):
+        _, probabilities = empirical_cdf(values)
+        assert (np.diff(probabilities) >= -1e-12).all()
+        assert probabilities[-1] == pytest.approx(1.0)
+
+    @COMMON_SETTINGS
+    @given(values=samples, point=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_cdf_at_matches_manual_count(self, values, point):
+        expected = sum(1 for v in values if v <= point) / len(values)
+        assert cdf_at(values, [point])[0] == pytest.approx(expected)

@@ -1,0 +1,96 @@
+"""Tests for messages and bandwidth accounting."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.message import BandwidthMeter, Message, estimate_payload_size
+
+
+class TestEstimatePayloadSize:
+    def test_none_is_free(self):
+        assert estimate_payload_size(None) == 0
+
+    def test_scalar_is_eight_bytes(self):
+        assert estimate_payload_size(3.14) == 8
+        assert estimate_payload_size(7) == 8
+
+    def test_bool_is_one_byte(self):
+        assert estimate_payload_size(True) == 1
+
+    def test_tuple_sums_elements(self):
+        assert estimate_payload_size((1.0, 2.0)) == 16
+
+    def test_numpy_float_array_uses_nbytes(self):
+        arr = np.zeros((4, 4), dtype=np.int64)
+        assert estimate_payload_size(arr) == arr.nbytes
+
+    def test_numpy_bool_array_is_packed(self):
+        arr = np.zeros(16, dtype=bool)
+        assert estimate_payload_size(arr) == 2
+
+    def test_dict_sums_values(self):
+        assert estimate_payload_size({"a": 1.0, "b": (2.0, 3.0)}) == 24
+
+    def test_string_uses_utf8_length(self):
+        assert estimate_payload_size("abc") == 3
+
+
+class TestMessage:
+    def test_self_message_detection(self):
+        assert Message(1, 1, (0.5, 0.5), 0).is_self_message
+        assert not Message(1, 2, (0.5, 0.5), 0).is_self_message
+
+    def test_self_message_costs_nothing(self):
+        assert Message(1, 1, (0.5, 0.5), 0).size_bytes() == 0
+
+    def test_peer_message_costs_payload(self):
+        assert Message(1, 2, (0.5, 0.5), 0).size_bytes() == 16
+
+
+class TestBandwidthMeter:
+    def test_record_accumulates_per_round_and_host(self):
+        meter = BandwidthMeter()
+        meter.record(Message(1, 2, (0.5, 0.5), 0))
+        meter.record(Message(3, 2, (0.5, 0.5), 0))
+        meter.record(Message(1, 4, (0.5, 0.5), 1))
+        assert meter.bytes_in_round(0) == 32
+        assert meter.bytes_in_round(1) == 16
+        assert meter.total_bytes == 48
+        assert meter.total_messages == 3
+        assert meter.bytes_per_host[1] == 32
+
+    def test_self_messages_are_ignored(self):
+        meter = BandwidthMeter()
+        meter.record(Message(1, 1, (0.5, 0.5), 0))
+        assert meter.total_bytes == 0
+        assert meter.total_messages == 0
+
+    def test_size_override(self):
+        meter = BandwidthMeter()
+        meter.record(Message(1, 2, (0.5, 0.5), 0), size=100)
+        assert meter.total_bytes == 100
+
+    def test_record_exchange_counts_both_directions(self):
+        meter = BandwidthMeter()
+        meter.record_exchange(3, 1, 2, size=10)
+        assert meter.bytes_in_round(3) == 20
+        assert meter.total_messages == 2
+        assert meter.bytes_per_host[1] == 10
+        assert meter.bytes_per_host[2] == 10
+
+    def test_rounds_listing(self):
+        meter = BandwidthMeter()
+        meter.record(Message(1, 2, 1.0, 5))
+        meter.record(Message(1, 2, 1.0, 2))
+        assert meter.rounds() == [2, 5]
+
+    def test_merge_combines_counters(self):
+        a = BandwidthMeter()
+        b = BandwidthMeter()
+        a.record(Message(1, 2, 1.0, 0))
+        b.record(Message(2, 3, 1.0, 0))
+        b.record(Message(2, 3, 1.0, 1))
+        a.merge(b)
+        assert a.total_messages == 3
+        assert a.bytes_in_round(0) == 16
+        assert a.bytes_in_round(1) == 8

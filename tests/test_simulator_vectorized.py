@@ -1,0 +1,243 @@
+"""Tests for the vectorised uniform-gossip kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.cutoff import default_cutoff
+from repro.simulator.vectorized import VectorizedCountSketchReset, VectorizedPushSumRevert
+from repro.workloads.values import uniform_values
+
+
+class TestVectorizedPushSumRevertConstruction:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            VectorizedPushSumRevert([1.0, 2.0], mode="pull")
+
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ValueError):
+            VectorizedPushSumRevert([1.0, 2.0], reversion=1.5)
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            VectorizedPushSumRevert([])
+
+    def test_initial_estimates_are_own_values(self):
+        kernel = VectorizedPushSumRevert([1.0, 5.0, 9.0])
+        assert np.allclose(kernel.estimates(), [1.0, 5.0, 9.0])
+        assert kernel.truth() == pytest.approx(5.0)
+
+
+class TestVectorizedPushSumRevertDynamics:
+    @pytest.mark.parametrize("mode", ["push", "pushpull"])
+    def test_mass_conservation_without_reversion(self, mode):
+        values = uniform_values(64, seed=2)
+        kernel = VectorizedPushSumRevert(values, 0.0, mode=mode, seed=1)
+        total_before = kernel.total.sum()
+        weight_before = kernel.weight.sum()
+        kernel.step_many(10)
+        assert kernel.total.sum() == pytest.approx(total_before)
+        assert kernel.weight.sum() == pytest.approx(weight_before)
+
+    def test_mass_conservation_with_reversion_static_population(self):
+        values = uniform_values(64, seed=2)
+        kernel = VectorizedPushSumRevert(values, 0.2, mode="pushpull", seed=1)
+        total_before = kernel.total.sum()
+        kernel.step_many(10)
+        assert kernel.total.sum() == pytest.approx(total_before)
+
+    @pytest.mark.parametrize("mode", ["push", "pushpull", "full-transfer"])
+    def test_converges_to_average(self, mode):
+        values = uniform_values(400, seed=4)
+        kernel = VectorizedPushSumRevert(values, 0.0 if mode != "full-transfer" else 0.01,
+                                         mode=mode, seed=4)
+        kernel.step_many(40)
+        assert kernel.error() < 0.15 * np.std(values)
+
+    def test_pushpull_converges_faster_than_push(self):
+        values = uniform_values(1000, seed=4)
+        push = VectorizedPushSumRevert(values, 0.0, mode="push", seed=4)
+        pushpull = VectorizedPushSumRevert(values, 0.0, mode="pushpull", seed=4)
+        push.step_many(8)
+        pushpull.step_many(8)
+        assert pushpull.error() < push.error()
+
+    def test_lambda_zero_never_recovers_from_correlated_failure(self):
+        values = uniform_values(800, seed=4)
+        kernel = VectorizedPushSumRevert(values, 0.0, mode="pushpull", seed=4)
+        kernel.step_many(15)
+        kernel.fail_highest_fraction(0.5)
+        kernel.step_many(30)
+        # truth dropped from ~50 to ~25 but static push-sum still says ~50
+        assert kernel.error() > 15.0
+
+    def test_reversion_recovers_from_correlated_failure(self):
+        values = uniform_values(800, seed=4)
+        kernel = VectorizedPushSumRevert(values, 0.5, mode="pushpull", seed=4)
+        kernel.step_many(15)
+        kernel.fail_highest_fraction(0.5)
+        kernel.step_many(30)
+        assert kernel.error() < 15.0
+
+    def test_full_transfer_lower_plateau_than_basic(self):
+        values = uniform_values(800, seed=4)
+        basic = VectorizedPushSumRevert(values, 0.1, mode="pushpull", seed=4)
+        full = VectorizedPushSumRevert(values, 0.1, mode="full-transfer", seed=4)
+        for kernel in (basic, full):
+            kernel.step_many(15)
+            kernel.fail_highest_fraction(0.5)
+            kernel.step_many(45)
+        assert full.error() < basic.error()
+
+    def test_uncorrelated_failure_is_harmless(self):
+        values = uniform_values(800, seed=4)
+        kernel = VectorizedPushSumRevert(values, 0.01, mode="pushpull", seed=4)
+        kernel.step_many(15)
+        kernel.fail_random_fraction(0.5)
+        kernel.step_many(20)
+        assert kernel.error() < 5.0
+
+    def test_fail_explicit_indices(self):
+        kernel = VectorizedPushSumRevert([1.0, 2.0, 3.0, 4.0], seed=1)
+        kernel.fail([0, 3])
+        assert kernel.truth() == pytest.approx(2.5)
+        assert kernel.estimates().size == 2
+
+    def test_fail_fraction_bounds_checked(self):
+        kernel = VectorizedPushSumRevert([1.0, 2.0], seed=1)
+        with pytest.raises(ValueError):
+            kernel.fail_random_fraction(1.5)
+        with pytest.raises(ValueError):
+            kernel.fail_highest_fraction(-0.1)
+
+    def test_adaptive_push_mode_runs_and_converges(self):
+        values = uniform_values(400, seed=4)
+        kernel = VectorizedPushSumRevert(values, 0.05, mode="push", adaptive=True, seed=4)
+        kernel.step_many(30)
+        assert np.isfinite(kernel.error())
+        assert kernel.error() < 10.0
+
+    def test_same_seed_reproducible(self):
+        values = uniform_values(100, seed=1)
+        a = VectorizedPushSumRevert(values, 0.1, seed=9)
+        b = VectorizedPushSumRevert(values, 0.1, seed=9)
+        a.step_many(10)
+        b.step_many(10)
+        assert np.allclose(a.estimates(), b.estimates())
+
+
+class TestVectorizedCountSketchReset:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            VectorizedCountSketchReset(0)
+        with pytest.raises(ValueError):
+            VectorizedCountSketchReset(10, bins=0)
+        with pytest.raises(ValueError):
+            VectorizedCountSketchReset(10, identifiers_per_host=0)
+
+    def test_estimate_order_of_magnitude(self):
+        kernel = VectorizedCountSketchReset(2000, bins=32, bits=20, seed=3)
+        kernel.step_many(25)
+        mean_estimate = float(np.mean(kernel.estimates()))
+        assert 0.5 * 2000 < mean_estimate < 2.0 * 2000
+
+    def test_hosts_converge_to_similar_estimates(self):
+        kernel = VectorizedCountSketchReset(500, bins=16, bits=18, seed=3)
+        kernel.step_many(25)
+        estimates = kernel.estimates()
+        assert np.ptp(estimates) < 0.2 * np.mean(estimates)
+
+    def test_counters_bounded_by_round_count(self):
+        kernel = VectorizedCountSketchReset(200, bins=8, bits=16, seed=3)
+        kernel.step_many(5)
+        finite = kernel.counters[kernel.counters < 30000]
+        assert finite.max() <= 5
+
+    def test_decay_recovers_after_failure(self):
+        kernel = VectorizedCountSketchReset(1000, bins=16, bits=18, seed=3)
+        kernel.step_many(20)
+        kernel.fail_random_fraction(0.5)
+        kernel.step_many(15)
+        mean_estimate = float(np.mean(kernel.estimates()))
+        assert mean_estimate < 0.85 * 1000  # has shrunk towards ~500
+
+    def test_no_decay_never_shrinks(self):
+        kernel = VectorizedCountSketchReset(1000, bins=16, bits=18, cutoff=None, seed=3)
+        kernel.step_many(20)
+        before = float(np.mean(kernel.estimates()))
+        kernel.fail_random_fraction(0.5)
+        kernel.step_many(15)
+        after = float(np.mean(kernel.estimates()))
+        assert after >= before * 0.95
+
+    def test_identifiers_per_host_scaling(self):
+        kernel = VectorizedCountSketchReset(50, bins=16, bits=18, identifiers_per_host=20, seed=3)
+        kernel.step_many(20)
+        mean_estimate = float(np.mean(kernel.estimates()))
+        assert 0.4 * 50 < mean_estimate < 2.5 * 50
+
+    def test_counter_values_for_bit_validation(self):
+        kernel = VectorizedCountSketchReset(100, bins=8, bits=10, seed=1)
+        with pytest.raises(ValueError):
+            kernel.counter_values_for_bit(10)
+        kernel.step_many(5)
+        values = kernel.counter_values_for_bit(0)
+        assert values.size > 0
+        assert values.min() >= 0
+
+    def test_same_seed_reproducible(self):
+        a = VectorizedCountSketchReset(200, bins=8, bits=12, seed=5)
+        b = VectorizedCountSketchReset(200, bins=8, bits=12, seed=5)
+        a.step_many(8)
+        b.step_many(8)
+        assert np.array_equal(a.counters, b.counters)
+
+    def test_pull_spreads_fresh_counters_at_least_as_fast(self):
+        # Same seed -> identical peer choices; the pull response can only add
+        # extra min-merges, so every counter with pull is <= its push-only
+        # counterpart.
+        with_pull = VectorizedCountSketchReset(1000, bins=8, bits=16, seed=5, pull=True)
+        without_pull = VectorizedCountSketchReset(1000, bins=8, bits=16, seed=5, pull=False)
+        with_pull.step_many(6)
+        without_pull.step_many(6)
+        assert (with_pull.counters <= without_pull.counters).all()
+
+
+class TestAgentVsVectorizedCrossCheck:
+    """The two implementations should agree on aggregate behaviour."""
+
+    def test_push_sum_convergence_agrees(self):
+        from repro.baselines import PushSum
+        from repro.environments import UniformEnvironment
+        from repro.simulator import Simulation
+
+        values = uniform_values(120, seed=8)
+        agent = Simulation(
+            PushSum(), UniformEnvironment(len(values)), values, seed=8, mode="exchange"
+        )
+        agent_error = agent.run(25).final_error()
+        kernel = VectorizedPushSumRevert(values, 0.0, mode="pushpull", seed=8)
+        kernel.step_many(25)
+        assert agent_error < 1.0
+        assert kernel.error() < 1.0
+
+    def test_count_sketch_reset_estimates_agree(self):
+        from repro.core import CountSketchReset
+        from repro.environments import UniformEnvironment
+        from repro.simulator import Simulation
+
+        n = 80
+        agent = Simulation(
+            CountSketchReset(bins=16, bits=16),
+            UniformEnvironment(n),
+            [1.0] * n,
+            seed=8,
+            mode="exchange",
+        )
+        agent_estimate = agent.run(15).mean_estimate()
+        kernel = VectorizedCountSketchReset(n, bins=16, bits=16, seed=8)
+        kernel.step_many(15)
+        vector_estimate = float(np.mean(kernel.estimates()))
+        # Both use 16-bin FM sketches, so both are within FM error of n and of
+        # each other (the sketch randomisation differs, so allow a wide band).
+        assert 0.4 * n < agent_estimate < 2.5 * n
+        assert 0.4 * n < vector_estimate < 2.5 * n

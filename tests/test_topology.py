@@ -1,0 +1,179 @@
+"""Tests for graph generators and connectivity utilities."""
+
+import pytest
+
+from repro.topology import (
+    bfs_distances,
+    bfs_tree,
+    complete_graph,
+    connected_component,
+    connected_components,
+    empty_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    induced_subgraph,
+    is_connected,
+    random_geometric_graph,
+    ring_lattice,
+    star_graph,
+    union_adjacency,
+)
+from repro.topology.graphs import grid_positions
+
+
+def _is_symmetric(graph):
+    return all(node in graph[neighbor] for node, nbrs in graph.items() for neighbor in nbrs)
+
+
+class TestGenerators:
+    def test_empty_graph(self):
+        graph = empty_graph(4)
+        assert len(graph) == 4
+        assert all(not neighbors for neighbors in graph.values())
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            empty_graph(-1)
+
+    def test_complete_graph_degree(self):
+        graph = complete_graph(6)
+        assert all(len(neighbors) == 5 for neighbors in graph.values())
+        assert _is_symmetric(graph)
+
+    def test_complete_graph_no_self_loops(self):
+        graph = complete_graph(5)
+        assert all(node not in graph[node] for node in graph)
+
+    def test_star_graph(self):
+        graph = star_graph(5, center=2)
+        assert len(graph[2]) == 4
+        assert all(len(graph[node]) == 1 for node in graph if node != 2)
+
+    def test_star_graph_center_validation(self):
+        with pytest.raises(ValueError):
+            star_graph(3, center=5)
+
+    def test_ring_lattice_degree(self):
+        graph = ring_lattice(10, k=2)
+        assert all(len(neighbors) == 4 for neighbors in graph.values())
+        assert _is_symmetric(graph)
+
+    def test_ring_lattice_k_validation(self):
+        with pytest.raises(ValueError):
+            ring_lattice(10, k=0)
+
+    def test_grid_graph_structure(self):
+        graph = grid_graph(3, 3)
+        assert len(graph) == 9
+        assert len(graph[4]) == 4  # centre has 4 neighbours
+        assert len(graph[0]) == 2  # corner has 2
+        assert _is_symmetric(graph)
+
+    def test_grid_graph_diagonal(self):
+        graph = grid_graph(3, 3, diagonal=True)
+        assert len(graph[4]) == 8
+
+    def test_grid_positions(self):
+        positions = grid_positions(3, 2)
+        assert positions[0] == (0, 0)
+        assert positions[5] == (2, 1)
+
+    def test_erdos_renyi_extremes(self):
+        assert all(not nbrs for nbrs in erdos_renyi_graph(10, 0.0, seed=1).values())
+        full = erdos_renyi_graph(10, 1.0, seed=1)
+        assert all(len(nbrs) == 9 for nbrs in full.values())
+
+    def test_erdos_renyi_probability_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_erdos_renyi_reproducible(self):
+        a = erdos_renyi_graph(30, 0.2, seed=5)
+        b = erdos_renyi_graph(30, 0.2, seed=5)
+        assert a == b
+
+    def test_random_geometric_graph_radius_behaviour(self):
+        sparse, _ = random_geometric_graph(30, 0.01, seed=2)
+        dense, _ = random_geometric_graph(30, 2.0, seed=2)
+        assert sum(len(v) for v in sparse.values()) < sum(len(v) for v in dense.values())
+        assert all(len(nbrs) == 29 for nbrs in dense.values())
+
+    def test_random_geometric_graph_positions_returned(self):
+        graph, positions = random_geometric_graph(10, 0.3, seed=2)
+        assert set(graph) == set(positions)
+        assert all(0 <= x <= 1 and 0 <= y <= 1 for x, y in positions.values())
+
+    def test_random_geometric_graph_explicit_positions(self):
+        positions = [(0.0, 0.0), (0.05, 0.0), (0.9, 0.9)]
+        graph, _ = random_geometric_graph(3, 0.1, positions=positions)
+        assert 1 in graph[0]
+        assert 2 not in graph[0]
+
+
+class TestConnectivity:
+    def setup_method(self):
+        # Two triangles joined by nothing, plus an isolated node.
+        self.graph = {
+            0: {1, 2},
+            1: {0, 2},
+            2: {0, 1},
+            3: {4, 5},
+            4: {3, 5},
+            5: {3, 4},
+            6: set(),
+        }
+
+    def test_connected_component(self):
+        assert connected_component(self.graph, 0) == {0, 1, 2}
+        assert connected_component(self.graph, 6) == {6}
+
+    def test_connected_component_respects_alive(self):
+        assert connected_component(self.graph, 0, alive={0, 1}) == {0, 1}
+        assert connected_component(self.graph, 0, alive={1, 2}) == set()
+
+    def test_connected_components_partition(self):
+        components = connected_components(self.graph)
+        assert sorted(len(c) for c in components) == [1, 3, 3]
+        assert set().union(*components) == set(self.graph)
+
+    def test_connected_components_alive_subset(self):
+        components = connected_components(self.graph, alive={0, 1, 3, 6})
+        assert sorted(len(c) for c in components) == [1, 1, 2]
+
+    def test_is_connected(self):
+        assert not is_connected(self.graph)
+        assert is_connected(complete_graph(5))
+        assert is_connected(self.graph, alive={0, 1, 2})
+        assert is_connected(empty_graph(1))
+        assert is_connected(empty_graph(0))
+
+    def test_bfs_distances(self):
+        graph = grid_graph(3, 3)
+        distances = bfs_distances(graph, 0)
+        assert distances[0] == 0
+        assert distances[8] == 4  # opposite corner via Manhattan path
+
+    def test_bfs_distances_unreachable_excluded(self):
+        distances = bfs_distances(self.graph, 0)
+        assert 3 not in distances
+
+    def test_bfs_tree_parents(self):
+        graph = grid_graph(3, 1)  # path 0-1-2
+        parents = bfs_tree(graph, 0)
+        assert parents == {0: None, 1: 0, 2: 1}
+
+    def test_bfs_tree_respects_alive(self):
+        graph = grid_graph(3, 1)
+        parents = bfs_tree(graph, 0, alive={0, 2})
+        assert parents == {0: None}
+
+    def test_induced_subgraph(self):
+        sub = induced_subgraph(self.graph, {0, 1, 3})
+        assert sub == {0: {1}, 1: {0}, 3: set()}
+
+    def test_union_adjacency(self):
+        first = {0: {1}, 1: {0}}
+        second = {1: {2}, 2: {1}}
+        union = union_adjacency([first, second])
+        assert union[1] == {0, 2}
+        assert union[2] == {1}
