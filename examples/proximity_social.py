@@ -12,7 +12,10 @@ group*:
 
 Mobility is driven by a synthetic Haggle-like contact trace (9 devices over
 a couple of days); errors are measured against each device's own group,
-exactly as in the paper's Figure 11.
+exactly as in the paper's Figure 11.  The three runs — static baseline,
+reverting averager, group-size sketch — are the *same* declarative
+scenario with the protocol swapped out, executed as one batch by
+:class:`repro.SweepRunner`.
 
 Run it with::
 
@@ -21,53 +24,64 @@ Run it with::
 
 import numpy as np
 
-from repro import CountSketchReset, PushSumRevert, Simulation, TraceEnvironment
+from repro import ScenarioSpec, SweepRunner
 from repro.analysis import render_series_table
-from repro.mobility import generate_haggle_like_trace
-from repro.workloads import clustered_values
 
 N_DEVICES = 9
 TRACE_HOURS = 36.0
 ROUND_SECONDS = 30.0
+ROUNDS = int(TRACE_HOURS * 3600 // ROUND_SECONDS)
+ROUNDS_PER_HOUR = int(3600 / ROUND_SECONDS)
+
+#: Everything about the run except the protocol: a 36-hour synthetic trace
+#: with 3-person taste communities, song ratings clustered by community.
+BASE = ScenarioSpec(
+    protocol="push-sum-revert",
+    environment="trace",
+    environment_params={
+        "devices": N_DEVICES,
+        "hours": TRACE_HOURS,
+        "trace_seed": 11,
+        "community_size": 3,
+        "round_seconds": ROUND_SECONDS,
+    },
+    # Song ratings cluster by taste community: some groups love their
+    # library, others are lukewarm.
+    workload="clustered",
+    workload_params={"cluster_means": (35.0, 60.0, 85.0), "std": 5.0, "seed": 11},
+    n_hosts=N_DEVICES,
+    rounds=ROUNDS,
+    mode="exchange",
+    seed=7,
+    group_relative=True,
+)
+
+SPECS = [
+    BASE.replace(name="static push-sum", protocol_params={"reversion": 0.0}),
+    BASE.replace(name="push-sum-revert", protocol_params={"reversion": 0.01}),
+    BASE.replace(
+        name="count-sketch-reset",
+        protocol="count-sketch-reset",
+        protocol_params={"bins": 32, "bits": 16, "identifiers_per_host": 100},
+    ),
+]
 
 
-def hourly(series, rounds_per_hour):
+def hourly(series):
     """Aggregate a per-round series into hourly means."""
     values = np.asarray(series, dtype=float)
     return [
-        float(np.nanmean(values[start : start + rounds_per_hour]))
-        for start in range(0, len(values), rounds_per_hour)
+        float(np.nanmean(values[start : start + ROUNDS_PER_HOUR]))
+        for start in range(0, len(values), ROUNDS_PER_HOUR)
     ]
 
 
-def run(protocol, trace, values, rounds):
-    environment = TraceEnvironment(trace, round_seconds=ROUND_SECONDS)
-    simulation = Simulation(
-        protocol, environment, values, seed=7, mode="exchange", group_relative=True
-    )
-    return simulation.run(rounds)
-
-
 def main() -> None:
-    trace = generate_haggle_like_trace(
-        N_DEVICES, duration_hours=TRACE_HOURS, seed=11, community_size=3
-    )
-    # Song ratings cluster by taste community: some groups love their library,
-    # others are lukewarm.
-    ratings = clustered_values(N_DEVICES, cluster_means=(35.0, 60.0, 85.0), std=5.0, seed=11)
-    rounds = int(trace.duration // ROUND_SECONDS)
-    rounds_per_hour = int(3600 / ROUND_SECONDS)
+    rating_static, rating_dynamic, size_dynamic = SweepRunner().run(SPECS).results
 
-    rating_static = run(PushSumRevert(0.0), trace, ratings, rounds)
-    rating_dynamic = run(PushSumRevert(0.01), trace, ratings, rounds)
-    size_dynamic = run(
-        CountSketchReset(bins=32, bits=16, identifiers_per_host=100), trace, ratings, rounds
-    )
-
-    hours = list(range(len(hourly(rating_static.errors(), rounds_per_hour))))
+    hours = list(range(len(hourly(rating_static.errors()))))
     group_size = hourly(
-        [r.group_sizes if r.group_sizes is not None else float("nan") for r in rating_static.rounds],
-        rounds_per_hour,
+        [r.group_sizes if r.group_sizes is not None else float("nan") for r in rating_static.rounds]
     )
 
     print(
@@ -81,11 +95,9 @@ def main() -> None:
             hours,
             {
                 "avg group size": group_size,
-                "rating error, static push-sum": hourly(rating_static.errors(), rounds_per_hour),
-                "rating error, push-sum-revert": hourly(rating_dynamic.errors(), rounds_per_hour),
-                "group-size error, count-sketch-reset": hourly(
-                    size_dynamic.errors(), rounds_per_hour
-                ),
+                "rating error, static push-sum": hourly(rating_static.errors()),
+                "rating error, push-sum-revert": hourly(rating_dynamic.errors()),
+                "group-size error, count-sketch-reset": hourly(size_dynamic.errors()),
             },
             every=2,
         )

@@ -1,47 +1,85 @@
 """Quickstart: dynamic averaging that survives a correlated mass departure.
 
-This script walks through the library's core workflow:
+This script walks through the library's core workflow both ways:
 
-1. build a population of hosts with local values;
-2. run the static baseline (Push-Sum) and the paper's Push-Sum-Revert over
-   a uniform gossip environment;
-3. silently remove the highest-valued half of the hosts mid-run (the
-   worst case for a static protocol: the true average changes but no
-   message ever says so);
-4. compare how the two protocols track the new true average.
+1. declare the run as a :class:`repro.ScenarioSpec` — every component
+   (protocol, environment, workload, failure) named by its registry key —
+   and execute it with :func:`repro.run_scenario`;
+2. build the same :class:`repro.Simulation` imperatively and check the two
+   paths produce the identical result;
+3. sweep the reversion constant λ over the same scenario to compare how
+   the static baseline (λ=0) and Push-Sum-Revert track the new true
+   average after the highest-valued half of the hosts silently departs.
+
+The spec also round-trips through JSON, which is exactly what
+``repro-aggregate run --config`` and ``repro-aggregate sweep`` consume.
 
 Run it with::
 
     python examples/quickstart.py
 """
 
-from repro import PushSumRevert, Simulation, UniformEnvironment
+from repro import (
+    CorrelatedFailure,
+    FailureEvent,
+    PushSumRevert,
+    ScenarioSpec,
+    Simulation,
+    Sweep,
+    SweepRunner,
+    UniformEnvironment,
+    run_scenario,
+)
 from repro.analysis import render_series_table
-from repro.failures import CorrelatedFailure, FailureEvent
 from repro.workloads import uniform_values
 
 N_HOSTS = 1000
 ROUNDS = 50
 FAILURE_ROUND = 20
 
+#: The whole experiment as one declarative, JSON-serialisable object.
+SPEC = ScenarioSpec(
+    name="quickstart-correlated-failure",
+    protocol="push-sum-revert",
+    protocol_params={"reversion": 0.1},
+    environment="uniform",
+    workload="uniform",
+    n_hosts=N_HOSTS,
+    rounds=ROUNDS,
+    mode="exchange",
+    seed=42,
+    events=(
+        {"event": "failure", "round": FAILURE_ROUND, "model": "correlated",
+         "fraction": 0.5, "highest": True},
+    ),
+)
 
-def run_variant(reversion: float) -> list:
-    """Run Push-Sum-Revert with the given reversion constant; λ=0 is Push-Sum."""
-    events = [FailureEvent(round=FAILURE_ROUND, model=CorrelatedFailure(0.5, highest=True))]
+
+def run_imperatively():
+    """The same run, hand-wired through the constructor path."""
     simulation = Simulation(
-        protocol=PushSumRevert(reversion),
+        protocol=PushSumRevert(0.1),
         environment=UniformEnvironment(N_HOSTS),
         values=uniform_values(N_HOSTS, seed=42),
         seed=42,
         mode="exchange",
-        events=events,
+        events=[FailureEvent(round=FAILURE_ROUND, model=CorrelatedFailure(0.5, highest=True))],
     )
     return simulation.run(ROUNDS)
 
 
 def main() -> None:
-    static = run_variant(0.0)
-    dynamic = run_variant(0.1)
+    # Path 1: declarative.  The spec survives a JSON round-trip unchanged.
+    assert SPEC == ScenarioSpec.from_json(SPEC.to_json())
+    dynamic = run_scenario(SPEC)
+
+    # Path 2: imperative.  Same components, same seed — same trajectory.
+    by_hand = run_imperatively()
+    assert dynamic.errors() == by_hand.errors(), "spec and constructor paths must agree"
+
+    # Path 3: sweep λ over the same scenario (λ=0 is static Push-Sum).
+    sweep = Sweep.over(SPEC, **{"protocol_params.reversion": [0.0, 0.1]})
+    static, _dynamic_again = SweepRunner().run(sweep).results
 
     print(
         f"{N_HOSTS} hosts with values uniform on [0, 100); the highest-valued half "

@@ -13,49 +13,53 @@ simulation, the cars reporting the highest hazard levels leave (they were
 all stuck in the same flooded underpass and got rerouted) — a correlated
 departure that a static protocol never notices.
 
+Both runs are declared as :class:`repro.ScenarioSpec` objects — the same
+workload (a clamped Zipf tail of hazard severities), the same environment
+and the same departure event, differing only in the protocol under test —
+and executed together by :class:`repro.SweepRunner`.
+
 Run it with::
 
     python examples/road_hazard.py
 """
 
-import numpy as np
-
-from repro import InvertAverage, Simulation, UniformEnvironment
+from repro import ScenarioSpec, SweepRunner
 from repro.analysis import render_series_table
-from repro.baselines import SketchCount
-from repro.failures import CorrelatedFailure, FailureEvent
-from repro.workloads import zipf_values
 
 N_CARS = 400
 ROUNDS = 60
 DEPARTURE_ROUND = 25
 
+#: Everything about the run except the protocol under test.
+BASE = ScenarioSpec(
+    protocol="invert-average",
+    protocol_params={"reversion": 0.05, "bins": 32, "bits": 18},
+    environment="uniform",
+    # Per-car hazard scores: mostly small, a heavy tail of severe reports.
+    workload="zipf",
+    workload_params={"exponent": 1.6, "seed": 3, "clamp": 50.0},
+    n_hosts=N_CARS,
+    rounds=ROUNDS,
+    mode="exchange",
+    seed=3,
+    events=(
+        {"event": "failure", "round": DEPARTURE_ROUND, "model": "correlated",
+         "fraction": 0.3, "highest": True},
+    ),
+)
 
-def hazard_readings() -> list:
-    """Per-car hazard scores: mostly small, a heavy tail of severe reports."""
-    return [min(50.0, value) for value in zipf_values(N_CARS, exponent=1.6, seed=3)]
-
-
-def run(protocol, values, events):
-    simulation = Simulation(
-        protocol,
-        UniformEnvironment(N_CARS),
-        values,
-        seed=3,
-        mode="exchange",
-        events=list(events),
-    )
-    return simulation.run(ROUNDS)
+SPECS = [
+    BASE.replace(name="invert-average"),
+    BASE.replace(
+        name="static-sketch-sum",
+        protocol="sketch-count",
+        protocol_params={"bins": 32, "bits": 24, "value_as_identifiers": True},
+    ),
+]
 
 
 def main() -> None:
-    values = hazard_readings()
-    events = [
-        FailureEvent(round=DEPARTURE_ROUND, model=CorrelatedFailure(0.3, highest=True))
-    ]
-
-    dynamic = run(InvertAverage(0.05, bins=32, bits=18), values, events)
-    static = run(SketchCount(bins=32, bits=24, value_as_identifiers=True), values, events)
+    dynamic, static = SweepRunner().run(SPECS).results
 
     print(
         f"{N_CARS} cars sharing hazard readings over vehicle-to-vehicle gossip.\n"

@@ -17,8 +17,34 @@ In-Network Aggregation* (Kennedy, Koch, Demers; ICDE 2009).  It provides:
 * an experiment harness (``repro.experiments``) regenerating every figure in
   the paper's evaluation section.
 
+* a declarative scenario layer (``repro.api``) — registries of named
+  components, frozen JSON-round-trippable :class:`~repro.api.ScenarioSpec`
+  run descriptions, and :class:`~repro.api.Sweep` grids executed serially
+  or across processes by :class:`~repro.api.SweepRunner`.
+
 Quickstart
 ----------
+
+The declarative path — one spec describes the whole run, and the same
+spec serialises to JSON for the CLI (``repro-aggregate run --config``)
+and for parallel sweeps:
+
+>>> from repro import ScenarioSpec, run_scenario
+>>> spec = ScenarioSpec(
+...     protocol="push-sum-revert",
+...     protocol_params={"reversion": 0.01},
+...     environment="uniform",
+...     workload="uniform",
+...     n_hosts=200,
+...     rounds=30,
+...     seed=1,
+... )
+>>> result = run_scenario(spec)
+>>> spec == ScenarioSpec.from_json(spec.to_json())
+True
+
+The imperative path — construct the engine directly (equivalent, and
+still fully supported):
 
 >>> from repro import Simulation, UniformEnvironment, PushSumRevert
 >>> from repro.workloads import uniform_values
@@ -28,12 +54,27 @@ Quickstart
 ...     environment=UniformEnvironment(200),
 ...     values=values,
 ...     seed=1,
+...     mode="exchange",
 ... )
->>> result = sim.run(rounds=30)
->>> abs(result.mean_estimate() - sum(values) / len(values)) < 5.0
+>>> abs(sim.run(rounds=30).mean_estimate() - result.mean_estimate()) < 1e-9
 True
 """
 
+from repro.api import (
+    ENVIRONMENTS,
+    FAILURES,
+    PROTOCOLS,
+    WORKLOADS,
+    ScenarioSpec,
+    Sweep,
+    SweepResult,
+    SweepRunner,
+    register_environment,
+    register_failure,
+    register_protocol,
+    register_workload,
+    run_scenario,
+)
 from repro.baselines import (
     EpochPushSum,
     HopsSampling,
@@ -67,7 +108,9 @@ from repro.simulator import Simulation, SimulationResult
 __all__ = [
     "CountSketchReset",
     "CorrelatedFailure",
+    "ENVIRONMENTS",
     "EpochPushSum",
+    "FAILURES",
     "FailureEvent",
     "FullTransferPushSumRevert",
     "HopsSampling",
@@ -75,18 +118,29 @@ __all__ = [
     "InvertAverage",
     "JoinEvent",
     "NeighborhoodEnvironment",
+    "PROTOCOLS",
     "PushPull",
     "PushSum",
     "PushSumRevert",
+    "ScenarioSpec",
     "SketchCount",
     "Simulation",
     "SimulationResult",
     "SpatialGridEnvironment",
+    "Sweep",
+    "SweepResult",
+    "SweepRunner",
     "TraceEnvironment",
     "TreeAggregation",
     "UncorrelatedFailure",
     "UniformEnvironment",
+    "WORKLOADS",
     "default_cutoff",
+    "register_environment",
+    "register_failure",
+    "register_protocol",
+    "register_workload",
+    "run_scenario",
 ]
 
 __version__ = "1.0.0"

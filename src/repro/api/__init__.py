@@ -1,0 +1,52 @@
+"""The declarative scenario API: the single front door to the simulator.
+
+Everything the simulator can run is describable as plain data:
+
+* :mod:`repro.api.registry` — string-keyed registries of protocols,
+  environments, failure models and workloads, with decorators
+  (:func:`register_protocol` et al.) for adding new components;
+* :mod:`repro.api.spec` — :class:`ScenarioSpec`, a frozen, eagerly
+  validated, JSON-round-trippable description of one run, executed with
+  :func:`run_scenario`;
+* :mod:`repro.api.sweep` — :class:`Sweep` grids over any spec fields and
+  :class:`SweepRunner`, which executes them serially or across processes
+  into a tidy :class:`SweepResult`.
+
+The imperative path (constructing :class:`repro.Simulation` by hand) keeps
+working unchanged; this layer is additive and is what the CLI, the
+experiment profiles and the examples are built on.
+"""
+
+from repro.api.registry import (
+    ENVIRONMENTS,
+    FAILURES,
+    PROTOCOLS,
+    WORKLOADS,
+    Registry,
+    UnknownKeyError,
+    register_environment,
+    register_failure,
+    register_protocol,
+    register_workload,
+)
+from repro.api.spec import NAMED_CUTOFFS, ScenarioSpec, run_scenario
+from repro.api.sweep import Sweep, SweepResult, SweepRunner
+
+__all__ = [
+    "ENVIRONMENTS",
+    "FAILURES",
+    "NAMED_CUTOFFS",
+    "PROTOCOLS",
+    "Registry",
+    "ScenarioSpec",
+    "Sweep",
+    "SweepResult",
+    "SweepRunner",
+    "UnknownKeyError",
+    "WORKLOADS",
+    "register_environment",
+    "register_failure",
+    "register_protocol",
+    "register_workload",
+    "run_scenario",
+]

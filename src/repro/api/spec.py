@@ -1,0 +1,331 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a frozen, validated, JSON-serialisable
+description of one simulation run — every component referred to by its
+registry name (:mod:`repro.api.registry`) plus plain-data parameters.  The
+spec is the single front door to the simulator:
+
+>>> from repro.api import ScenarioSpec, run_scenario
+>>> spec = ScenarioSpec(
+...     protocol="push-sum-revert",
+...     protocol_params={"reversion": 0.1},
+...     environment="uniform",
+...     workload="uniform",
+...     n_hosts=200,
+...     rounds=30,
+...     seed=7,
+...     events=({"event": "failure", "round": 15, "model": "correlated",
+...              "fraction": 0.5, "highest": True},),
+... )
+>>> result = run_scenario(spec)
+>>> result.final_error() < 15.0
+True
+
+Validation is eager: unknown registry names, bad constructor parameters,
+malformed events and invalid engine options all raise at construction
+time, not at the first ``build()`` on a worker process.  Specs round-trip
+losslessly through :meth:`ScenarioSpec.to_dict` / :meth:`from_dict` and
+:meth:`to_json` / :meth:`from_json`, which is what makes them cheap to
+ship across process boundaries (see :mod:`repro.api.sweep`) and to commit
+next to experiment outputs.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.api.registry import ENVIRONMENTS, FAILURES, PROTOCOLS, WORKLOADS
+from repro.core.cutoff import default_cutoff, linear_cutoff, no_decay_cutoff, scaled_cutoff
+from repro.failures import ChurnProcess, FailureEvent, JoinEvent, ValueChangeEvent
+from repro.simulator import Simulation, SimulationResult
+
+__all__ = ["ScenarioSpec", "run_scenario", "NAMED_CUTOFFS"]
+
+#: Names accepted for the ``cutoff`` protocol parameter of the sketch
+#: protocols, so that JSON specs never need to reference callables.
+NAMED_CUTOFFS: Dict[str, Any] = {
+    "default": default_cutoff,
+    "off": no_decay_cutoff,
+    "none": no_decay_cutoff,
+    "slow": scaled_cutoff(2.0),
+}
+
+_EVENT_KINDS = ("failure", "join", "value-change", "churn")
+
+
+def _jsonify(value: Any) -> Any:
+    """Deep-copy ``value`` with tuples normalised to lists.
+
+    JSON has no tuple type, so specs normalise containers at construction —
+    that is what makes ``from_json(to_json(spec)) == spec`` hold even when a
+    caller writes ``cluster_means=(35.0, 60.0, 85.0)``.
+    """
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, Mapping):
+        return {key: _jsonify(item) for key, item in value.items()}
+    return copy.deepcopy(value)
+
+
+def _frozen_copy(params: Optional[Mapping]) -> Dict[str, Any]:
+    """A private, JSON-normalised deep copy of a parameter mapping."""
+    if params is None:
+        return {}
+    if not isinstance(params, Mapping):
+        raise ValueError(f"expected a mapping of parameters, got {type(params).__name__}")
+    return {key: _jsonify(value) for key, value in params.items()}
+
+
+def _validate_event(entry: Mapping) -> Dict[str, Any]:
+    """Validate one event dict and return a normalised copy."""
+    if not isinstance(entry, Mapping):
+        raise ValueError(f"events must be dicts, got {type(entry).__name__}")
+    entry = _jsonify(dict(entry))
+    kind = entry.get("event")
+    if kind not in _EVENT_KINDS:
+        raise ValueError(f"unknown event kind {kind!r}; expected one of {_EVENT_KINDS}")
+    if kind == "churn":
+        for bound in ("start", "stop"):
+            if not isinstance(entry.get(bound), int) or entry[bound] < 0:
+                raise ValueError(f"churn events need non-negative integer {bound!r} rounds")
+    else:
+        if not isinstance(entry.get("round"), int) or entry["round"] < 0:
+            raise ValueError(f"{kind} events need a non-negative integer 'round'")
+    if kind in ("failure", "churn"):
+        model = entry.get("model")
+        if not isinstance(model, str):
+            raise ValueError(f"{kind} events need a 'model' registry name, got {model!r}")
+        reserved = (
+            ("event", "round", "model")
+            if kind == "failure"
+            else ("event", "start", "stop", "model", "arrivals_per_round")
+        )
+        params = {key: value for key, value in entry.items() if key not in reserved}
+        FAILURES.validate_params(model, **params)
+    elif kind == "join":
+        if not isinstance(entry.get("count"), int) or entry["count"] < 1:
+            raise ValueError("join events need a positive integer 'count'")
+    else:  # value-change
+        values = entry.get("values")
+        if not isinstance(values, Mapping) or not values:
+            raise ValueError("value-change events need a non-empty 'values' mapping")
+        entry["values"] = {str(key): float(value) for key, value in values.items()}
+    return entry
+
+
+def _build_event(entry: Mapping) -> List[object]:
+    """Instantiate the scheduled event(s) described by one event dict."""
+    kind = entry["event"]
+    if kind == "failure":
+        params = {k: v for k, v in entry.items() if k not in ("event", "round", "model")}
+        return [FailureEvent(round=entry["round"], model=FAILURES.create(entry["model"], **params))]
+    if kind == "join":
+        return [JoinEvent(round=entry["round"], count=entry["count"])]
+    if kind == "value-change":
+        new_values = {int(key): float(value) for key, value in entry["values"].items()}
+        return [ValueChangeEvent(round=entry["round"], new_values=new_values)]
+    # churn: expands into one failure (and optionally one join) per round
+    params = {
+        k: v
+        for k, v in entry.items()
+        if k not in ("event", "start", "stop", "model", "arrivals_per_round")
+    }
+    process = ChurnProcess(
+        start=entry["start"],
+        stop=entry["stop"],
+        model=FAILURES.create(entry["model"], **params),
+        arrivals_per_round=int(entry.get("arrivals_per_round", 0)),
+    )
+    return list(process.events())
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, declarative description of one simulation run.
+
+    Attributes
+    ----------
+    protocol / protocol_params:
+        Registry name and constructor parameters of the aggregation
+        protocol.  Sketch protocols may give ``cutoff`` as one of the
+        names in :data:`NAMED_CUTOFFS` (``"default"``, ``"off"``,
+        ``"slow"``) so the spec stays JSON-clean.
+    environment / environment_params:
+        Registry name and parameters of the gossip environment; every
+        environment factory receives :attr:`n_hosts` automatically.
+    workload / workload_params:
+        Registry name and parameters of the value generator.  When
+        ``workload_params`` carries no ``seed``, the workload is drawn
+        with the scenario :attr:`seed` so one integer pins the whole run.
+    events:
+        Scheduled membership events as plain dicts, e.g.
+        ``{"event": "failure", "round": 20, "model": "uncorrelated",
+        "fraction": 0.5}``; ``"join"``, ``"value-change"`` and ``"churn"``
+        follow :mod:`repro.failures`.
+    rounds / mode / seed / group_relative / store_estimates:
+        Engine options, passed straight to :class:`repro.Simulation`.
+    name:
+        Optional label used by sweep tables and reports.
+    """
+
+    protocol: str
+    environment: str = "uniform"
+    workload: str = "uniform"
+    n_hosts: int = 1000
+    rounds: int = 60
+    mode: str = "exchange"
+    seed: int = 0
+    protocol_params: Dict[str, Any] = field(default_factory=dict)
+    environment_params: Dict[str, Any] = field(default_factory=dict)
+    workload_params: Dict[str, Any] = field(default_factory=dict)
+    events: Tuple[Dict[str, Any], ...] = ()
+    group_relative: bool = False
+    store_estimates: bool = False
+    name: str = ""
+
+    # -------------------------------------------------------------- validation
+    def __post_init__(self):
+        object.__setattr__(self, "protocol_params", _frozen_copy(self.protocol_params))
+        object.__setattr__(self, "environment_params", _frozen_copy(self.environment_params))
+        object.__setattr__(self, "workload_params", _frozen_copy(self.workload_params))
+        object.__setattr__(
+            self, "events", tuple(_validate_event(entry) for entry in self.events)
+        )
+        if self.mode not in ("push", "exchange"):
+            raise ValueError(f"unknown mode {self.mode!r}; expected 'push' or 'exchange'")
+        if not isinstance(self.n_hosts, int) or self.n_hosts < 1:
+            raise ValueError(f"n_hosts must be a positive integer, got {self.n_hosts!r}")
+        if not isinstance(self.rounds, int) or self.rounds < 1:
+            raise ValueError(f"rounds must be a positive integer, got {self.rounds!r}")
+        if not isinstance(self.seed, int):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        PROTOCOLS.validate_params(self.protocol, **self.protocol_params)
+        ENVIRONMENTS.validate_params(self.environment, self.n_hosts, **self.environment_params)
+        WORKLOADS.validate_params(self.workload, self.n_hosts, **self._workload_call_params())
+        cutoff = self.protocol_params.get("cutoff")
+        if isinstance(cutoff, str):
+            if cutoff not in NAMED_CUTOFFS:
+                raise ValueError(
+                    f"unknown cutoff name {cutoff!r}; expected one of {sorted(NAMED_CUTOFFS)} "
+                    "or a [intercept, slope] pair"
+                )
+        elif isinstance(cutoff, (list, tuple)):
+            if len(cutoff) != 2 or not all(isinstance(item, (int, float)) for item in cutoff):
+                raise ValueError(
+                    f"cutoff pairs must be [intercept, slope] numbers, got {cutoff!r}"
+                )
+            linear_cutoff(float(cutoff[0]), float(cutoff[1]))  # bounds-checks eagerly
+
+    def __hash__(self):
+        # The generated frozen-dataclass hash chokes on the dict fields;
+        # hash the canonical (key-sorted) JSON form instead so equal specs
+        # hash equal regardless of parameter insertion order.
+        return hash(json.dumps(self.to_dict(), sort_keys=True))
+
+    # ------------------------------------------------------------- construction
+    def _workload_call_params(self) -> Dict[str, Any]:
+        params = dict(self.workload_params)
+        params.setdefault("seed", self.seed)
+        return params
+
+    def _resolved_protocol_params(self) -> Dict[str, Any]:
+        params = dict(self.protocol_params)
+        cutoff = params.get("cutoff")
+        if isinstance(cutoff, str):
+            params["cutoff"] = NAMED_CUTOFFS[cutoff]
+        elif isinstance(cutoff, (list, tuple)):
+            intercept, slope = cutoff
+            params["cutoff"] = linear_cutoff(float(intercept), float(slope))
+        return params
+
+    def build_protocol(self):
+        """A fresh protocol instance."""
+        return PROTOCOLS.create(self.protocol, **self._resolved_protocol_params())
+
+    def build_environment(self):
+        """A fresh environment instance (caches and registrations reset)."""
+        return ENVIRONMENTS.create(self.environment, self.n_hosts, **self.environment_params)
+
+    def build_values(self) -> List[float]:
+        """The initial host values for this scenario."""
+        return WORKLOADS.create(self.workload, self.n_hosts, **self._workload_call_params())
+
+    def build_events(self) -> List[object]:
+        """Fresh scheduled-event instances."""
+        built: List[object] = []
+        for entry in self.events:
+            built.extend(_build_event(entry))
+        return built
+
+    def build(self) -> Simulation:
+        """A ready-to-run :class:`repro.Simulation` for this scenario."""
+        return Simulation(
+            self.build_protocol(),
+            self.build_environment(),
+            self.build_values(),
+            seed=self.seed,
+            mode=self.mode,
+            events=self.build_events(),
+            group_relative=self.group_relative,
+            store_estimates=self.store_estimates,
+        )
+
+    def run(self) -> SimulationResult:
+        """Build and run the scenario for :attr:`rounds` rounds."""
+        return self.build().run(self.rounds)
+
+    # ------------------------------------------------------------ serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-dict representation that :meth:`from_dict` restores exactly."""
+        payload = dataclasses.asdict(self)
+        payload["events"] = [copy.deepcopy(entry) for entry in self.events]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (validates eagerly)."""
+        if not isinstance(payload, Mapping):
+            raise TypeError(f"expected a mapping, got {type(payload).__name__}")
+        known = {spec_field.name for spec_field in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown scenario fields {sorted(unknown)}; expected a subset of {sorted(known)}"
+            )
+        if "protocol" not in payload:
+            raise ValueError("scenario dicts must name a 'protocol'")
+        kwargs = dict(payload)
+        if "events" in kwargs:
+            kwargs["events"] = tuple(kwargs["events"])
+        return cls(**kwargs)
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    # ----------------------------------------------------------------- utility
+    def replace(self, **changes) -> "ScenarioSpec":
+        """A copy with ``changes`` applied (re-validates)."""
+        return dataclasses.replace(self, **changes)
+
+    def label(self) -> str:
+        """A short human-readable label (the name, or a derived summary)."""
+        if self.name:
+            return self.name
+        return f"{self.protocol}/{self.environment}/n={self.n_hosts}/seed={self.seed}"
+
+
+def run_scenario(spec: ScenarioSpec) -> SimulationResult:
+    """Build and run ``spec``; equal specs produce identical results."""
+    if not isinstance(spec, ScenarioSpec):
+        raise TypeError(f"run_scenario expects a ScenarioSpec, got {type(spec).__name__}")
+    return spec.run()

@@ -1,0 +1,300 @@
+"""Scenario grids: declarative sweeps and a serial/parallel runner.
+
+The paper's evaluation is a grid — {protocol × environment × failure ×
+population × seed} — and :class:`Sweep` writes that grid down directly:
+
+>>> from repro.api import ScenarioSpec, Sweep, SweepRunner
+>>> base = ScenarioSpec(protocol="push-sum-revert", n_hosts=120, rounds=10)
+>>> sweep = Sweep.over(base, **{
+...     "protocol_params.reversion": [0.0, 0.1],
+...     "seed": range(3),
+... })
+>>> len(sweep.specs())
+6
+>>> result = SweepRunner(parallel=False).run(sweep)
+>>> len(result.rows)
+6
+
+Axis keys are :class:`~repro.api.spec.ScenarioSpec` field names
+(``protocol``, ``n_hosts``, ``seed``, …) or dotted paths into the
+parameter dicts (``protocol_params.reversion``,
+``environment_params.dataset``).  Expansion is a deterministic cross
+product in axis-declaration order, so run *k* of a sweep is the same
+scenario on every machine.
+
+:class:`SweepRunner` executes the expanded grid serially or across
+processes (``concurrent.futures.ProcessPoolExecutor``).  Specs are shipped
+to workers as plain dicts (see :meth:`ScenarioSpec.to_dict`), results come
+back in grid order regardless of completion order, and every scenario
+carries its own seed — so parallel and serial execution produce
+identical :class:`SweepResult` tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.render import render_table
+from repro.api.spec import ScenarioSpec, run_scenario
+from repro.simulator import SimulationResult
+
+__all__ = ["Sweep", "SweepRunner", "SweepResult"]
+
+#: Summary statistics reported for every run in a sweep table.
+METRIC_COLUMNS = ("final_error", "plateau_error", "final_truth", "mean_estimate", "n_alive")
+
+
+_PARAM_CONTAINERS = ("protocol_params", "environment_params", "workload_params")
+_SPEC_FIELDS = frozenset(spec_field.name for spec_field in dataclasses.fields(ScenarioSpec))
+
+
+def _validate_axis_name(axis: str) -> None:
+    """Reject unknown axis names eagerly (at :meth:`Sweep.over`, not expansion)."""
+    if "." in axis:
+        container, key = axis.split(".", 1)
+        if "." in key:
+            raise ValueError(f"axis {axis!r} nests too deep; one dot maximum")
+        if container not in _PARAM_CONTAINERS:
+            raise ValueError(
+                f"axis {axis!r} must dot into one of {', '.join(_PARAM_CONTAINERS)}"
+            )
+    elif axis not in _SPEC_FIELDS:
+        raise ValueError(
+            f"unknown axis {axis!r}; expected a ScenarioSpec field "
+            f"({', '.join(sorted(_SPEC_FIELDS))}) or a dotted parameter path "
+            "like 'protocol_params.reversion'"
+        )
+
+
+def _set_axis(spec_kwargs: Dict[str, Any], axis: str, value: Any) -> None:
+    """Apply one axis assignment to a spec's keyword dict (dotted paths ok)."""
+    if "." in axis:
+        container, key = axis.split(".", 1)
+        params = dict(spec_kwargs.get(container) or {})
+        params[key] = value
+        spec_kwargs[container] = params
+    else:
+        spec_kwargs[axis] = value
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A base scenario crossed with one or more named axes."""
+
+    base: ScenarioSpec
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+
+    @classmethod
+    def over(cls, base: Optional[ScenarioSpec] = None, **axes: Iterable) -> "Sweep":
+        """Build a sweep over the cross product of ``axes``.
+
+        ``base`` supplies every field the axes don't touch; it defaults to
+        a plain Push-Sum-Revert scenario.  Axis values may be any iterable
+        (lists, tuples, ``range``); they are materialised eagerly so the
+        sweep is reusable.
+        """
+        if base is None:
+            base = ScenarioSpec(protocol="push-sum-revert")
+        if not axes:
+            raise ValueError("a sweep needs at least one axis")
+        materialised = tuple((name, tuple(values)) for name, values in axes.items())
+        for name, values in materialised:
+            _validate_axis_name(name)
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+        return cls(base=base, axes=materialised)
+
+    # ---------------------------------------------------------------- expansion
+    def axis_names(self) -> List[str]:
+        """The axis names in declaration order."""
+        return [name for name, _values in self.axes]
+
+    def points(self) -> List[Tuple[Dict[str, Any], ScenarioSpec]]:
+        """The expanded grid as (axis assignment, spec) pairs, in grid order."""
+        names = self.axis_names()
+        value_lists = [values for _name, values in self.axes]
+        expanded: List[Tuple[Dict[str, Any], ScenarioSpec]] = []
+        base_kwargs = self.base.to_dict()
+        for combination in itertools.product(*value_lists):
+            assignment = dict(zip(names, combination))
+            spec_kwargs = {key: value for key, value in base_kwargs.items()}
+            for axis, value in assignment.items():
+                _set_axis(spec_kwargs, axis, value)
+            spec_kwargs["events"] = tuple(spec_kwargs.get("events") or ())
+            label = ", ".join(f"{axis}={value}" for axis, value in assignment.items())
+            spec_kwargs["name"] = label if not self.base.name else f"{self.base.name}: {label}"
+            expanded.append((assignment, ScenarioSpec(**spec_kwargs)))
+        return expanded
+
+    def specs(self) -> List[ScenarioSpec]:
+        """Just the expanded specs, in grid order."""
+        return [spec for _assignment, spec in self.points()]
+
+    def __len__(self) -> int:
+        size = 1
+        for _name, values in self.axes:
+            size *= len(values)
+        return size
+
+    # ------------------------------------------------------------ serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-friendly representation (``{"base": ..., "axes": ...}``)."""
+        return {
+            "base": self.base.to_dict(),
+            "axes": {name: list(values) for name, values in self.axes},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Sweep":
+        """Rebuild a sweep from :meth:`to_dict` output (or a hand-written dict)."""
+        if not isinstance(payload, Mapping) or "base" not in payload or "axes" not in payload:
+            raise ValueError("sweep dicts need 'base' (a scenario) and 'axes' (name -> values)")
+        base = ScenarioSpec.from_dict(payload["base"])
+        axes = payload["axes"]
+        if not isinstance(axes, Mapping) or not axes:
+            raise ValueError("'axes' must be a non-empty mapping of axis name -> values")
+        return cls.over(base, **{name: list(values) for name, values in axes.items()})
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Sweep":
+        return cls.from_dict(json.loads(text))
+
+
+def _execute_spec_payload(payload: Dict[str, Any]) -> SimulationResult:
+    """Process-pool worker: rebuild the spec from its dict and run it."""
+    return run_scenario(ScenarioSpec.from_dict(payload))
+
+
+def _summarise(assignment: Dict[str, Any], spec: ScenarioSpec, result: SimulationResult) -> Dict[str, Any]:
+    """One tidy row: the axis assignment plus the run's summary metrics."""
+    final = result.final_record()
+    row: Dict[str, Any] = dict(assignment)
+    row.update(
+        {
+            "scenario": spec.label(),
+            "final_error": final.stddev_error,
+            "plateau_error": result.plateau_error(),
+            "final_truth": final.truth,
+            "mean_estimate": final.mean_estimate,
+            "n_alive": final.n_alive,
+        }
+    )
+    return row
+
+
+@dataclass
+class SweepResult:
+    """The outcome of one executed sweep: tidy rows plus the full results.
+
+    ``rows`` is a list of flat dicts (axis values + summary metrics) ready
+    for :mod:`repro.analysis`; ``results`` holds the complete
+    :class:`~repro.simulator.SimulationResult` trajectories in the same
+    (grid) order.
+    """
+
+    axis_names: List[str]
+    specs: List[ScenarioSpec] = field(default_factory=list)
+    results: List[SimulationResult] = field(default_factory=list)
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    parallel: bool = False
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """The tidy rows (copies), one dict per executed scenario."""
+        return [dict(row) for row in self.rows]
+
+    def column(self, name: str) -> List[Any]:
+        """One column across every row (axis value or metric)."""
+        return [row[name] for row in self.rows]
+
+    def best(self, metric: str = "final_error") -> Dict[str, Any]:
+        """The row minimising ``metric``."""
+        if not self.rows:
+            raise ValueError("sweep produced no rows")
+        return dict(min(self.rows, key=lambda row: row[metric]))
+
+    def render(self, *, metrics: Sequence[str] = METRIC_COLUMNS) -> str:
+        """The sweep as an aligned text table, one row per scenario."""
+        header = [*self.axis_names, *metrics]
+        body = [[row.get(column, "") for column in header] for row in self.rows]
+        mode = "parallel" if self.parallel else "serial"
+        title = f"Sweep over {{{' x '.join(self.axis_names) or 'nothing'}}} — {len(self.rows)} runs ({mode})\n"
+        return title + render_table(header, body)
+
+
+@dataclass
+class SweepRunner:
+    """Execute a :class:`Sweep` (or an explicit spec list) into a :class:`SweepResult`.
+
+    Parameters
+    ----------
+    parallel:
+        Run scenarios across processes with
+        ``concurrent.futures.ProcessPoolExecutor``.  Every scenario seeds
+        all of its own randomness from the spec, so parallel and serial
+        execution return identical results, in identical (grid) order.
+    max_workers:
+        Process count (default: ``os.cpu_count()``, capped at the grid size).
+    chunksize:
+        Scenarios shipped to a worker per task; raise it for large grids of
+        short runs to amortise the pickling round-trips.
+    """
+
+    parallel: bool = False
+    max_workers: Optional[int] = None
+    chunksize: int = 1
+
+    def __post_init__(self):
+        if self.chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+
+    def run(self, sweep: Union[Sweep, Sequence[ScenarioSpec]]) -> SweepResult:
+        """Execute every scenario in ``sweep`` and return the collected result."""
+        if isinstance(sweep, Sweep):
+            points = sweep.points()
+            axis_names = sweep.axis_names()
+        else:
+            specs = list(sweep)
+            for spec in specs:
+                if not isinstance(spec, ScenarioSpec):
+                    raise TypeError(f"expected ScenarioSpec items, got {type(spec).__name__}")
+            points = [({"scenario": spec.label()}, spec) for spec in specs]
+            axis_names = []
+        specs = [spec for _assignment, spec in points]
+
+        if self.parallel and len(specs) > 1:
+            workers = min(self.max_workers or (os.cpu_count() or 1), len(specs))
+            payloads = [spec.to_dict() for spec in specs]
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                results = list(
+                    executor.map(_execute_spec_payload, payloads, chunksize=self.chunksize)
+                )
+            ran_parallel = True
+        else:
+            results = [run_scenario(spec) for spec in specs]
+            ran_parallel = False
+
+        rows = [
+            _summarise(assignment, spec, result)
+            for (assignment, spec), result in zip(points, results)
+        ]
+        return SweepResult(
+            axis_names=axis_names or ["scenario"],
+            specs=specs,
+            results=results,
+            rows=rows,
+            parallel=ran_parallel,
+        )

@@ -3,6 +3,19 @@
 Subcommands
 -----------
 
+``run``
+    Execute one declarative scenario — assembled from flags or loaded from
+    a JSON spec file (``--config``) — and print its error trajectory.
+
+``sweep``
+    Expand a JSON sweep document (base scenario × axes) into a scenario
+    grid, execute it (in parallel by default) and print the tidy result
+    table.
+
+``list``
+    List the registered protocols, environments, failure models and
+    workloads a scenario can name.
+
 ``experiments``
     Run the paper's evaluation figures (all of them or a subset) under the
     ``quick`` or ``full`` profile and print the rendered tables.
@@ -19,10 +32,14 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.render import render_series_table, render_table
+from repro.api import ENVIRONMENTS, FAILURES, PROTOCOLS, WORKLOADS
+from repro.api.spec import ScenarioSpec, run_scenario
+from repro.api.sweep import Sweep, SweepRunner
 from repro.experiments.runner import PROFILES, run_all_experiments
 from repro.mobility.stats import (
     average_group_size_series,
@@ -34,6 +51,18 @@ from repro.mobility.synthetic_haggle import generate_haggle_like_trace, haggle_d
 __all__ = ["main", "build_parser"]
 
 
+def _parse_param(item: str) -> tuple:
+    """Parse one ``key=value`` flag; values are JSON when possible, else text."""
+    if "=" not in item:
+        raise argparse.ArgumentTypeError(f"expected key=value, got {item!r}")
+    key, raw = item.split("=", 1)
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -41,6 +70,48 @@ def build_parser() -> argparse.ArgumentParser:
         description="Dynamic in-network aggregation: experiments and demos",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="run one declarative scenario (from flags or a JSON spec)"
+    )
+    run.add_argument("--config", default=None, help="JSON scenario spec file")
+    run.add_argument("--protocol", default=None, help="registered protocol name")
+    run.add_argument("--environment", default=None, help="registered environment name")
+    run.add_argument("--workload", default=None, help="registered workload name")
+    run.add_argument("--hosts", type=int, default=None, help="population size")
+    run.add_argument("--rounds", type=int, default=None, help="gossip rounds to simulate")
+    run.add_argument("--mode", choices=("push", "exchange"), default=None)
+    run.add_argument("--seed", type=int, default=None, help="root random seed")
+    run.add_argument(
+        "--group-relative", action="store_true", help="measure errors per contact group"
+    )
+    run.add_argument(
+        "-P", "--protocol-param", type=_parse_param, action="append", default=[],
+        metavar="KEY=VALUE", help="protocol constructor parameter (repeatable)",
+    )
+    run.add_argument(
+        "-E", "--environment-param", type=_parse_param, action="append", default=[],
+        metavar="KEY=VALUE", help="environment parameter (repeatable)",
+    )
+    run.add_argument(
+        "-W", "--workload-param", type=_parse_param, action="append", default=[],
+        metavar="KEY=VALUE", help="workload parameter (repeatable)",
+    )
+    run.add_argument("--every", type=int, default=5, help="print every Nth round")
+    run.add_argument("--json", action="store_true", help="print the result as JSON")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="expand a JSON sweep (base scenario x axes) and run the grid"
+    )
+    sweep.add_argument("--config", required=True, help="JSON sweep file: {'base': ..., 'axes': ...}")
+    sweep.add_argument("--serial", action="store_true", help="run in-process instead of a pool")
+    sweep.add_argument("--workers", type=int, default=None, help="process-pool size")
+    sweep.add_argument("--chunksize", type=int, default=1, help="scenarios per pool task")
+    sweep.add_argument("--output", default=None, help="also write the table to this file")
+
+    subparsers.add_parser(
+        "list", help="list the registered protocols, environments, failures and workloads"
+    )
 
     experiments = subparsers.add_parser(
         "experiments", help="run the paper's evaluation figures and print the tables"
@@ -81,6 +152,112 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--csv", default=None, help="write the trace to this CSV path")
     return parser
+
+
+def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
+    """Assemble the scenario: the JSON config (if any) overridden by flags."""
+    payload: Dict[str, object] = {}
+    if args.config:
+        with open(args.config) as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise SystemExit(f"{args.config}: expected a JSON object describing a scenario")
+    overrides = {
+        "protocol": args.protocol,
+        "environment": args.environment,
+        "workload": args.workload,
+        "n_hosts": args.hosts,
+        "rounds": args.rounds,
+        "mode": args.mode,
+        "seed": args.seed,
+    }
+    for key, value in overrides.items():
+        if value is not None:
+            payload[key] = value
+    if args.group_relative:
+        payload["group_relative"] = True
+    for flag, target in (
+        (args.protocol_param, "protocol_params"),
+        (args.environment_param, "environment_params"),
+        (args.workload_param, "workload_params"),
+    ):
+        if flag:
+            params = dict(payload.get(target) or {})
+            params.update(dict(flag))
+            payload[target] = params
+    if "protocol" not in payload:
+        raise SystemExit(
+            "no protocol selected: pass --protocol or a --config spec "
+            f"(registered protocols: {', '.join(PROTOCOLS.keys())})"
+        )
+    return ScenarioSpec.from_dict(payload)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    try:
+        spec = _spec_from_args(args)
+        result = run_scenario(spec)
+    except (ValueError, KeyError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: cannot read {args.config}: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({"spec": spec.to_dict(), "result": result.as_dict()}, indent=2))
+        return 0
+    print(
+        f"Scenario {spec.label()}: {spec.protocol} over {spec.environment} gossip, "
+        f"{spec.n_hosts} hosts, {spec.rounds} rounds (mode={spec.mode}, seed={spec.seed})"
+    )
+    print(
+        render_series_table(
+            "round",
+            [record.round_index for record in result.rounds],
+            {
+                "truth": result.truths(),
+                "stddev error": result.errors(),
+                "alive": result.alive_counts(),
+            },
+            every=max(1, args.every),
+        )
+    )
+    print(
+        f"\nfinal error {result.final_error():.4g}, plateau error "
+        f"{result.plateau_error():.4g}, final truth {result.final_truth():.4g}"
+    )
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    try:
+        with open(args.config) as handle:
+            sweep = Sweep.from_dict(json.load(handle))
+        runner = SweepRunner(
+            parallel=not args.serial, max_workers=args.workers, chunksize=args.chunksize
+        )
+        result = runner.run(sweep)
+    except (ValueError, KeyError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: cannot read {args.config}: {error}", file=sys.stderr)
+        return 2
+    text = result.render()
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    rows = []
+    for registry in (PROTOCOLS, ENVIRONMENTS, FAILURES, WORKLOADS):
+        for index, key in enumerate(sorted(registry.keys())):
+            rows.append([registry.kind if index == 0 else "", key])
+    print(render_table(["kind", "name"], rows))
+    return 0
 
 
 def _command_experiments(args: argparse.Namespace) -> int:
@@ -157,6 +334,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "list":
+        return _command_list(args)
     if args.command == "experiments":
         return _command_experiments(args)
     if args.command == "demo":

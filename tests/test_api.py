@@ -1,0 +1,391 @@
+"""Tests for the declarative scenario API (registries, specs, sweeps)."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    ENVIRONMENTS,
+    FAILURES,
+    PROTOCOLS,
+    WORKLOADS,
+    Registry,
+    ScenarioSpec,
+    Sweep,
+    SweepRunner,
+    UnknownKeyError,
+    run_scenario,
+)
+from repro.core import PushSumRevert
+from repro.environments import TraceEnvironment, UniformEnvironment
+from repro.simulator import Simulation, SimulationResult
+
+
+class TestRegistry:
+    def test_builtin_protocols_registered(self):
+        for key in ("push-sum-revert", "count-sketch-reset", "invert-average",
+                    "push-sum", "push-pull", "sketch-count"):
+            assert key in PROTOCOLS
+        assert PROTOCOLS.get("push-sum-revert") is PushSumRevert
+
+    def test_builtin_environments_failures_workloads(self):
+        assert {"uniform", "ring", "grid", "spatial-grid", "trace"} <= set(ENVIRONMENTS.keys())
+        assert {"uncorrelated", "correlated", "explicit", "bernoulli"} <= set(FAILURES.keys())
+        assert {"uniform", "constant", "normal", "zipf", "clustered"} <= set(WORKLOADS.keys())
+
+    def test_unknown_key_raises_with_suggestion(self):
+        with pytest.raises(UnknownKeyError) as excinfo:
+            PROTOCOLS.get("push-sum-rever")
+        message = str(excinfo.value)
+        assert "push-sum-rever" in message
+        assert "push-sum-revert" in message  # did-you-mean suggestion
+        # UnknownKeyError is a KeyError, so except KeyError still works.
+        assert isinstance(excinfo.value, KeyError)
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("thing")
+        registry.register("a", int)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("a", float)
+
+    def test_decorator_registration(self):
+        registry = Registry("thing")
+
+        @registry.register("fancy", aliases=("plain",))
+        class Fancy:
+            pass
+
+        assert registry.get("fancy") is Fancy
+        assert registry.get("plain") is Fancy
+        assert registry.keys() == ["fancy", "plain"]
+
+    def test_validate_params_catches_typos(self):
+        with pytest.raises(ValueError, match="reversions"):
+            PROTOCOLS.validate_params("push-sum-revert", reversions=0.1)
+        PROTOCOLS.validate_params("push-sum-revert", reversion=0.1)  # no raise
+
+    def test_environment_factories_take_n_hosts(self):
+        environment = ENVIRONMENTS.create("uniform", 64)
+        assert isinstance(environment, UniformEnvironment)
+        assert environment.n == 64
+
+    def test_workload_factories_produce_one_value_per_host(self):
+        for key in WORKLOADS:
+            values = WORKLOADS.create(key, 12, seed=3)
+            assert len(values) == 12
+
+
+class TestScenarioSpec:
+    def spec(self, **overrides):
+        kwargs = dict(
+            protocol="push-sum-revert",
+            protocol_params={"reversion": 0.1},
+            n_hosts=120,
+            rounds=15,
+            seed=5,
+            events=(
+                {"event": "failure", "round": 8, "model": "uncorrelated", "fraction": 0.5},
+            ),
+        )
+        kwargs.update(overrides)
+        return ScenarioSpec(**kwargs)
+
+    def test_dict_round_trip(self):
+        spec = self.spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = self.spec(workload="normal", workload_params={"mean": 10.0})
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert json.loads(spec.to_json())["protocol"] == "push-sum-revert"
+
+    def test_unknown_protocol_rejected_eagerly(self):
+        with pytest.raises(KeyError, match="no-such-protocol"):
+            self.spec(protocol="no-such-protocol")
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario fields"):
+            ScenarioSpec.from_dict({"protocol": "push-sum", "n_host": 10})
+
+    def test_bad_protocol_param_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="reversions"):
+            self.spec(protocol_params={"reversions": 0.1})
+
+    def test_bad_mode_and_sizes_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            self.spec(mode="pull")
+        with pytest.raises(ValueError, match="n_hosts"):
+            self.spec(n_hosts=0)
+        with pytest.raises(ValueError, match="rounds"):
+            self.spec(rounds=0)
+
+    def test_bad_events_rejected(self):
+        with pytest.raises(ValueError, match="event kind"):
+            self.spec(events=({"event": "explode", "round": 1},))
+        with pytest.raises(ValueError, match="round"):
+            self.spec(events=({"event": "failure", "model": "uncorrelated"},))
+        with pytest.raises(ValueError, match="model"):
+            self.spec(events=({"event": "failure", "round": 1},))
+
+    def test_named_cutoff_resolution(self):
+        spec = self.spec(
+            protocol="count-sketch-reset",
+            protocol_params={"bins": 8, "bits": 12, "cutoff": "default"},
+            workload="constant",
+        )
+        protocol = spec.build_protocol()
+        assert protocol.cutoff(4) == 7.0 + 1.0
+        with pytest.raises(ValueError, match="cutoff"):
+            self.spec(
+                protocol="count-sketch-reset",
+                protocol_params={"bins": 8, "bits": 12, "cutoff": "sideways"},
+            )
+
+    def test_cutoff_as_intercept_slope_pair(self):
+        spec = self.spec(
+            protocol="count-sketch-reset",
+            protocol_params={"bins": 8, "bits": 12, "cutoff": [5.0, 0.5]},
+            workload="constant",
+        )
+        assert spec.build_protocol().cutoff(2) == 6.0
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_build_produces_ready_simulation(self):
+        simulation = self.spec().build()
+        assert isinstance(simulation, Simulation)
+        assert len(simulation.hosts) == 120
+        assert simulation.mode == "exchange"
+        assert len(simulation.events) == 1
+
+    def test_workload_seed_defaults_to_scenario_seed(self):
+        a = self.spec(seed=5).build_values()
+        b = self.spec(seed=5).build_values()
+        c = self.spec(seed=6).build_values()
+        assert a == b
+        assert a != c
+        # An explicit workload seed wins over the scenario seed.
+        pinned = self.spec(seed=6, workload_params={"seed": 5}).build_values()
+        assert pinned == a
+
+    def test_spec_is_frozen(self):
+        spec = self.spec()
+        with pytest.raises(AttributeError):
+            spec.n_hosts = 7
+
+    def test_tuple_params_survive_json_round_trip(self):
+        spec = self.spec(
+            workload="clustered",
+            workload_params={"cluster_means": (35.0, 60.0, 85.0), "std": 5.0},
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert spec.workload_params["cluster_means"] == [35.0, 60.0, 85.0]
+
+    def test_specs_are_hashable_and_usable_in_sets(self):
+        a = self.spec()
+        b = ScenarioSpec.from_json(a.to_json())
+        c = self.spec(seed=99)
+        assert hash(a) == hash(b)
+        assert {a, b, c} == {a, c}
+
+    def test_non_mapping_params_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="mapping"):
+            self.spec(protocol_params=[1, 2])
+
+    def test_malformed_cutoff_pair_rejected_eagerly(self):
+        for bad in ([1.0, 2.0, 3.0], ["a", "b"], [-1.0, 0.5]):
+            with pytest.raises(ValueError):
+                self.spec(
+                    protocol="count-sketch-reset",
+                    protocol_params={"bins": 8, "bits": 12, "cutoff": bad},
+                )
+
+    def test_replace_revalidates(self):
+        spec = self.spec()
+        assert spec.replace(seed=9).seed == 9
+        with pytest.raises(ValueError):
+            spec.replace(mode="sideways")
+
+    def test_churn_event_expands(self):
+        spec = self.spec(
+            events=(
+                {"event": "churn", "start": 2, "stop": 5, "model": "bernoulli", "p": 0.01,
+                 "arrivals_per_round": 1},
+            )
+        )
+        events = spec.build_events()
+        assert len(events) == 6  # one failure + one join per round in [2, 5)
+
+    def test_trace_environment_device_count_must_match(self):
+        spec = self.spec(
+            environment="trace",
+            environment_params={"dataset": 1},
+            n_hosts=9,
+            rounds=10,
+            group_relative=True,
+        )
+        assert isinstance(spec.build_environment(), TraceEnvironment)
+        bad = self.spec(
+            environment="trace", environment_params={"dataset": 1}, n_hosts=10, rounds=10
+        )
+        with pytest.raises(ValueError, match="devices"):
+            bad.build_environment()
+
+
+class TestRunScenario:
+    def spec(self, **overrides):
+        kwargs = dict(
+            protocol="push-sum-revert",
+            protocol_params={"reversion": 0.1},
+            n_hosts=100,
+            rounds=12,
+            seed=3,
+            events=(
+                {"event": "failure", "round": 6, "model": "correlated",
+                 "fraction": 0.5, "highest": True},
+            ),
+        )
+        kwargs.update(overrides)
+        return ScenarioSpec(**kwargs)
+
+    def test_requires_a_spec(self):
+        with pytest.raises(TypeError):
+            run_scenario({"protocol": "push-sum"})
+
+    def test_same_seed_identical_result(self):
+        first = run_scenario(self.spec())
+        second = run_scenario(ScenarioSpec.from_dict(self.spec().to_dict()))
+        assert isinstance(first, SimulationResult)
+        assert first.errors() == second.errors()
+        assert first.truths() == second.truths()
+        assert first.alive_counts() == second.alive_counts()
+
+    def test_different_seed_different_result(self):
+        first = run_scenario(self.spec(seed=3))
+        second = run_scenario(self.spec(seed=4))
+        assert first.errors() != second.errors()
+
+    def test_reproduces_fig11_runner_bit_for_bit(self):
+        """A spec reproduces the Figure 11 runner's engine output exactly."""
+        from repro.experiments.fig11_traces import _run_protocol
+        from repro.mobility import haggle_dataset
+        from repro.workloads import uniform_values
+
+        seed, dataset, rounds = 0, 1, 120
+        trace = haggle_dataset(dataset)
+        values = uniform_values(trace.n_devices, seed=seed + dataset)
+        errors, group_sizes = _run_protocol(
+            PushSumRevert(0.01), trace, values,
+            rounds=rounds, round_seconds=30.0, group_window_seconds=600.0, seed=seed,
+        )
+        spec = ScenarioSpec(
+            protocol="push-sum-revert",
+            protocol_params={"reversion": 0.01},
+            environment="trace",
+            environment_params={"dataset": dataset},
+            workload_params={"seed": seed + dataset},
+            n_hosts=trace.n_devices,
+            rounds=rounds,
+            seed=seed,
+            group_relative=True,
+        )
+        result = run_scenario(ScenarioSpec.from_dict(spec.to_dict()))
+        assert result.errors() == errors
+        assert [record.group_sizes for record in result.rounds] == group_sizes
+
+
+class TestSweep:
+    def base(self):
+        return ScenarioSpec(
+            protocol="push-sum-revert", n_hosts=60, rounds=6, seed=0,
+        )
+
+    def test_expansion_is_a_cross_product_in_axis_order(self):
+        sweep = Sweep.over(self.base(), seed=[0, 1, 2], n_hosts=[60, 80])
+        assert len(sweep) == 6
+        points = sweep.points()
+        assert [(p["seed"], p["n_hosts"]) for p, _spec in points] == [
+            (0, 60), (0, 80), (1, 60), (1, 80), (2, 60), (2, 80),
+        ]
+        assert all(spec.n_hosts == p["n_hosts"] for p, spec in points)
+
+    def test_dotted_axis_sets_nested_param(self):
+        sweep = Sweep.over(self.base(), **{"protocol_params.reversion": [0.0, 0.5]})
+        specs = sweep.specs()
+        assert [spec.protocol_params["reversion"] for spec in specs] == [0.0, 0.5]
+
+    def test_bad_axes_rejected(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            Sweep.over(self.base())
+        with pytest.raises(ValueError, match="no values"):
+            Sweep.over(self.base(), seed=[])
+        with pytest.raises(ValueError, match="dot into"):
+            Sweep.over(self.base(), **{"bogus_params.x": [1]})
+        # Misspelled plain field names are rejected eagerly too.
+        with pytest.raises(ValueError, match="unknown axis"):
+            Sweep.over(self.base(), host=[10, 20])
+
+    def test_json_round_trip(self):
+        sweep = Sweep.over(self.base(), seed=range(2), protocol=["push-sum", "push-pull"])
+        restored = Sweep.from_json(sweep.to_json())
+        assert restored.base == sweep.base
+        assert restored.axes == sweep.axes
+
+    def test_invalid_combination_fails_at_expansion(self):
+        base = self.base().replace(protocol_params={"reversion": 0.1})
+        with pytest.raises(ValueError, match="reversion"):
+            Sweep.over(base, protocol=["push-sum"]).points()
+
+
+class TestSweepRunner:
+    def sweep(self):
+        base = ScenarioSpec(
+            protocol="push-sum-revert",
+            n_hosts=60,
+            rounds=8,
+            events=({"event": "failure", "round": 4, "model": "uncorrelated", "fraction": 0.5},),
+        )
+        return Sweep.over(base, **{
+            "protocol_params.reversion": [0.0, 0.1],
+            "seed": [0, 1],
+        })
+
+    def test_serial_rows_and_order(self):
+        result = SweepRunner(parallel=False).run(self.sweep())
+        assert len(result) == 4
+        assert result.axis_names == ["protocol_params.reversion", "seed"]
+        assert result.column("seed") == [0, 1, 0, 1]
+        for row in result.rows:
+            assert row["n_alive"] == 30
+            assert row["final_error"] >= 0.0
+
+    def test_parallel_equals_serial(self):
+        serial = SweepRunner(parallel=False).run(self.sweep())
+        parallel = SweepRunner(parallel=True, max_workers=2, chunksize=2).run(self.sweep())
+        assert parallel.parallel and not serial.parallel
+        assert [r.errors() for r in parallel.results] == [r.errors() for r in serial.results]
+        for left, right in zip(parallel.rows, serial.rows):
+            assert left == right
+
+    def test_explicit_spec_list(self):
+        specs = [
+            ScenarioSpec(protocol="push-sum", n_hosts=40, rounds=5, name="static"),
+            ScenarioSpec(protocol="push-sum-revert", n_hosts=40, rounds=5, name="dynamic"),
+        ]
+        result = SweepRunner().run(specs)
+        assert result.axis_names == ["scenario"]
+        assert result.column("scenario") == ["static", "dynamic"]
+
+    def test_render_and_best(self):
+        result = SweepRunner().run(self.sweep())
+        text = result.render()
+        assert "final_error" in text
+        assert "4 runs" in text
+        best = result.best("final_error")
+        assert best["final_error"] == min(result.column("final_error"))
+
+    def test_invalid_runner_options(self):
+        with pytest.raises(ValueError):
+            SweepRunner(chunksize=0)
+        with pytest.raises(ValueError):
+            SweepRunner(max_workers=0)

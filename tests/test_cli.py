@@ -71,3 +71,143 @@ class TestCommands:
         assert "Figure 9" in captured.out
         assert output.exists()
         assert "Figure 9" in output.read_text()
+
+
+class TestRunCommand:
+    def test_run_from_flags(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--protocol", "push-sum-revert",
+                "--hosts", "80",
+                "--rounds", "10",
+                "--seed", "3",
+                "-P", "reversion=0.1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "push-sum-revert" in captured.out
+        assert "stddev error" in captured.out
+        assert "final error" in captured.out
+
+    def test_run_from_config_with_flag_override(self, tmp_path, capsys):
+        import json
+
+        config = tmp_path / "spec.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "protocol": "push-sum-revert",
+                    "protocol_params": {"reversion": 0.1},
+                    "n_hosts": 60,
+                    "rounds": 8,
+                    "seed": 1,
+                    "events": [
+                        {"event": "failure", "round": 4, "model": "uncorrelated",
+                         "fraction": 0.5}
+                    ],
+                }
+            )
+        )
+        exit_code = main(["run", "--config", str(config), "--rounds", "5", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["spec"]["rounds"] == 5  # flag overrode the config
+        assert len(payload["result"]["rounds"]) == 5
+
+    def test_run_requires_a_protocol(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--hosts", "10"])
+
+    def test_run_rejects_malformed_param(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "push-sum", "-P", "oops"])
+
+
+class TestSweepCommand:
+    def test_sweep_runs_grid_and_renders_table(self, tmp_path, capsys):
+        import json
+
+        config = tmp_path / "sweep.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "base": {"protocol": "push-sum-revert", "n_hosts": 50, "rounds": 6},
+                    "axes": {
+                        "protocol": ["push-sum-revert", "push-sum"],
+                        "environment": ["uniform", "ring"],
+                        "seed": [0, 1, 2],
+                    },
+                }
+            )
+        )
+        exit_code = main(["sweep", "--config", str(config), "--workers", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "12 runs (parallel)" in captured.out
+        assert "final_error" in captured.out
+        assert "push-sum-revert" in captured.out
+
+    def test_sweep_serial_with_output_file(self, tmp_path, capsys):
+        import json
+
+        config = tmp_path / "sweep.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "base": {"protocol": "push-sum-revert", "n_hosts": 40, "rounds": 5},
+                    "axes": {"seed": [0, 1]},
+                }
+            )
+        )
+        output = tmp_path / "table.txt"
+        exit_code = main(
+            ["sweep", "--config", str(config), "--serial", "--output", str(output)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "2 runs (serial)" in captured.out
+        assert "final_error" in output.read_text()
+
+
+class TestListCommand:
+    def test_list_prints_registries(self, capsys):
+        exit_code = main(["list"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for expected in ("protocol", "environment", "failure", "workload",
+                         "push-sum-revert", "count-sketch-reset", "uniform"):
+            assert expected in captured.out
+
+
+class TestCliErrorPaths:
+    def test_run_build_time_error_is_clean(self, capsys):
+        # Trace device-count mismatch only surfaces at build(); the CLI must
+        # still render it as an error line, not a traceback.
+        exit_code = main(
+            ["run", "--protocol", "push-sum-revert", "--environment", "trace",
+             "-E", "dataset=1", "--hosts", "10", "--rounds", "3"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+        assert "devices" in captured.err
+
+    def test_sweep_axis_typo_is_clean(self, tmp_path, capsys):
+        import json
+
+        config = tmp_path / "sweep.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "base": {"protocol": "push-sum-revert", "n_hosts": 20, "rounds": 2},
+                    "axes": {"host": [10, 20]},
+                }
+            )
+        )
+        exit_code = main(["sweep", "--config", str(config)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unknown axis" in captured.err

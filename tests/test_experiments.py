@@ -21,7 +21,14 @@ from repro.experiments import (
     run_push_vs_pushpull_ablation,
     run_summation_cost_ablation,
 )
-from repro.experiments.runner import PROFILES
+from repro.api import run_scenario
+from repro.experiments.fig8_uncorrelated import DEFAULT_LAMBDAS
+from repro.experiments.runner import (
+    PROFILES,
+    ExperimentReport,
+    lambda_sweep,
+    scenario_specs,
+)
 
 
 class TestFig6:
@@ -251,3 +258,48 @@ class TestRunner:
         report = run_all_experiments("quick", only=["fig8"], include_ablations=False)
         assert set(report.results) == {"fig8"}
         assert "fig8" in report.text()
+
+    def test_report_sections_in_numeric_figure_order(self):
+        report = ExperimentReport(profile="quick")
+        for name in ("fig10", "fig11", "fig6", "fig8", "fig9", "ablations"):
+            report.rendered[name] = f"section {name}"
+        assert report.section_names() == ["fig6", "fig8", "fig9", "fig10", "fig11", "ablations"]
+        text = report.text()
+        assert text.index("## fig6") < text.index("## fig9") < text.index("## fig10")
+        assert text.index("## fig11") < text.index("## ablations")
+
+
+class TestScenarioProfiles:
+    def test_every_profile_has_engine_level_specs(self):
+        for profile in PROFILES:
+            specs = scenario_specs(profile)
+            assert {"fig8", "fig9", "fig10", "fig11"} <= set(specs)
+
+    def test_profiles_share_numbers_with_specs(self):
+        for profile in PROFILES:
+            specs = scenario_specs(profile)
+            assert PROFILES[profile]["fig8"]["n_hosts"] == specs["fig8"].n_hosts
+            assert PROFILES[profile]["fig9"]["rounds"] == specs["fig9"].rounds
+            assert PROFILES[profile]["fig9"]["bins"] == specs["fig9"].protocol_params["bins"]
+            assert PROFILES[profile]["fig10"]["n_hosts"] == specs["fig10"].n_hosts
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            scenario_specs("enormous")
+
+    def test_fig8_spec_runs_and_rides_through_failure(self):
+        spec = scenario_specs("quick")["fig8"].replace(n_hosts=300, rounds=35)
+        result = run_scenario(spec)
+        assert result.alive_counts()[-1] == 150
+        # Fig 8's point: an uncorrelated failure barely moves the estimate —
+        # the post-failure error stays at the converged plateau, far below
+        # the initial convergence transient.
+        assert result.final_error() < result.errors()[0] / 10.0
+
+    def test_lambda_sweep_matches_paper_grid(self):
+        sweep = lambda_sweep("quick", figure="fig10", seeds=2)
+        assert len(sweep) == len(DEFAULT_LAMBDAS) * 2
+        reversions = {spec.protocol_params["reversion"] for spec in sweep.specs()}
+        assert reversions == set(DEFAULT_LAMBDAS)
+        with pytest.raises(ValueError):
+            lambda_sweep("quick", figure="fig6")
