@@ -1,0 +1,22 @@
+"""Standalone runner for the core backend benchmark.
+
+Times identical declarative scenarios on the agent and vectorised
+execution backends and writes the repo's perf trajectory file::
+
+    python benchmarks/bench_core.py             # full run, writes BENCH_core.json
+    python benchmarks/bench_core.py --smoke     # seconds-long CI configuration
+
+Equivalent to ``repro-aggregate bench`` / ``python -m repro bench``; see
+:mod:`repro.perf` for the implementation.  (Named without the ``test_``
+prefix on purpose: pytest must not collect a wall-clock benchmark.)
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.perf import main  # noqa: E402  (path bootstrap must run first)
+
+if __name__ == "__main__":
+    sys.exit(main())

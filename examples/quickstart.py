@@ -4,15 +4,20 @@ This script walks through the library's core workflow both ways:
 
 1. declare the run as a :class:`repro.ScenarioSpec` — every component
    (protocol, environment, workload, failure) named by its registry key —
-   and execute it with :func:`repro.run_scenario`;
-2. build the same :class:`repro.Simulation` imperatively and check the two
-   paths produce the identical result;
+   and execute it with :func:`repro.run_scenario`.  The spec's
+   ``backend="auto"`` resolves to the vectorised NumPy kernels here
+   (uniform gossip + Push-Sum-Revert has one); pin ``backend="agent"`` or
+   ``backend="vectorized"`` to choose explicitly;
+2. build the same :class:`repro.Simulation` imperatively and check it
+   matches the spec run on the ``"agent"`` backend exactly;
 3. sweep the reversion constant λ over the same scenario to compare how
    the static baseline (λ=0) and Push-Sum-Revert track the new true
    average after the highest-valued half of the hosts silently departs.
 
 The spec also round-trips through JSON, which is exactly what
 ``repro-aggregate run --config`` and ``repro-aggregate sweep`` consume.
+Time the two backends against each other with ``repro-aggregate bench``
+(the committed trajectory lives in ``BENCH_core.json``).
 
 Run it with::
 
@@ -69,13 +74,19 @@ def run_imperatively():
 
 
 def main() -> None:
-    # Path 1: declarative.  The spec survives a JSON round-trip unchanged.
+    # Path 1: declarative.  The spec survives a JSON round-trip unchanged
+    # and runs on the vectorised backend ("auto" resolves to it here).
     assert SPEC == ScenarioSpec.from_json(SPEC.to_json())
+    assert SPEC.resolved_backend() == "vectorized"
     dynamic = run_scenario(SPEC)
 
-    # Path 2: imperative.  Same components, same seed — same trajectory.
+    # Path 2: imperative.  Same components, same seed — identical to the
+    # spec executed on the per-host "agent" backend.  (The vectorised run
+    # above agrees statistically, not bit-for-bit: see DESIGN.md §7.)
     by_hand = run_imperatively()
-    assert dynamic.errors() == by_hand.errors(), "spec and constructor paths must agree"
+    agent = run_scenario(SPEC.replace(backend="agent"))
+    assert agent.errors() == by_hand.errors(), "spec and constructor paths must agree"
+    assert abs(dynamic.final_error() - agent.final_error()) < 2.0
 
     # Path 3: sweep λ over the same scenario (λ=0 is static Push-Sum).
     sweep = Sweep.over(SPEC, **{"protocol_params.reversion": [0.0, 0.1]})

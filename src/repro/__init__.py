@@ -20,14 +20,23 @@ In-Network Aggregation* (Kennedy, Koch, Demers; ICDE 2009).  It provides:
 * a declarative scenario layer (``repro.api``) — registries of named
   components, frozen JSON-round-trippable :class:`~repro.api.ScenarioSpec`
   run descriptions, and :class:`~repro.api.Sweep` grids executed serially
-  or across processes by :class:`~repro.api.SweepRunner`.
+  or across processes by :class:`~repro.api.SweepRunner`;
+* pluggable execution backends (``repro.api.backends``) — every scenario
+  runs on the per-host ``"agent"`` engine or on NumPy ``"vectorized"``
+  kernels; the default ``backend="auto"`` picks the kernels whenever the
+  scenario's combination is supported (orders of magnitude faster at the
+  paper's populations — ``repro-aggregate bench`` measures it and writes
+  ``BENCH_core.json``).
 
 Quickstart
 ----------
 
 The declarative path — one spec describes the whole run, and the same
 spec serialises to JSON for the CLI (``repro-aggregate run --config``)
-and for parallel sweeps:
+and for parallel sweeps.  ``backend="auto"`` (the default) resolves to
+the vectorised kernels here because uniform-gossip Push-Sum-Revert has
+one; pin ``backend="agent"`` or ``backend="vectorized"`` to choose
+explicitly (an unsupported explicit choice fails at construction):
 
 >>> from repro import ScenarioSpec, run_scenario
 >>> spec = ScenarioSpec(
@@ -39,12 +48,14 @@ and for parallel sweeps:
 ...     rounds=30,
 ...     seed=1,
 ... )
+>>> spec.resolved_backend()
+'vectorized'
 >>> result = run_scenario(spec)
 >>> spec == ScenarioSpec.from_json(spec.to_json())
 True
 
-The imperative path — construct the engine directly (equivalent, and
-still fully supported):
+The imperative path — construct the engine directly (the agent
+realisation, still fully supported):
 
 >>> from repro import Simulation, UniformEnvironment, PushSumRevert
 >>> from repro.workloads import uniform_values
@@ -56,8 +67,13 @@ still fully supported):
 ...     seed=1,
 ...     mode="exchange",
 ... )
->>> abs(sim.run(rounds=30).mean_estimate() - result.mean_estimate()) < 1e-9
+>>> agent_result = run_scenario(spec.replace(backend="agent"))
+>>> abs(sim.run(rounds=30).mean_estimate() - agent_result.mean_estimate()) < 1e-9
 True
+
+Benchmark the two backends against each other with
+``repro-aggregate bench`` (or ``python benchmarks/bench_core.py``); the
+committed trajectory lives in ``BENCH_core.json``.
 """
 
 from repro.api import (

@@ -10,13 +10,24 @@ Everything the simulator can run is describable as plain data:
   :func:`run_scenario`;
 * :mod:`repro.api.sweep` — :class:`Sweep` grids over any spec fields and
   :class:`SweepRunner`, which executes them serially or across processes
-  into a tidy :class:`SweepResult`.
+  into a tidy :class:`SweepResult`;
+* :mod:`repro.api.backends` — the execution backends behind
+  :func:`run_scenario`: the per-host ``"agent"`` engine, the NumPy
+  ``"vectorized"`` kernels, and the ``"auto"`` dispatch rule that picks
+  between them per scenario.
 
 The imperative path (constructing :class:`repro.Simulation` by hand) keeps
 working unchanged; this layer is additive and is what the CLI, the
 experiment profiles and the examples are built on.
 """
 
+from repro.api.backends import (
+    BACKENDS,
+    AgentBackend,
+    ExecutionBackend,
+    VectorizedBackend,
+    resolve_backend,
+)
 from repro.api.registry import (
     ENVIRONMENTS,
     FAILURES,
@@ -33,11 +44,16 @@ from repro.api.spec import NAMED_CUTOFFS, ScenarioSpec, run_scenario
 from repro.api.sweep import Sweep, SweepResult, SweepRunner
 
 __all__ = [
+    "AgentBackend",
+    "BACKENDS",
     "ENVIRONMENTS",
+    "ExecutionBackend",
     "FAILURES",
     "NAMED_CUTOFFS",
     "PROTOCOLS",
     "Registry",
+    "VectorizedBackend",
+    "resolve_backend",
     "ScenarioSpec",
     "Sweep",
     "SweepResult",

@@ -1,0 +1,397 @@
+"""Execution backends: one scenario, two engines.
+
+A :class:`~repro.api.spec.ScenarioSpec` describes *what* to simulate; this
+module decides *how*.  Two backends are registered:
+
+* ``"agent"`` — the reference per-host engine (:class:`repro.Simulation`).
+  Runs every protocol over every environment; the only backend for trace
+  and neighbourhood environments, group-relative errors, joins and churn.
+* ``"vectorized"`` — the NumPy kernels of :mod:`repro.simulator.vectorized`.
+  Orders of magnitude faster (see ``BENCH_core.json``), restricted to
+  uniform gossip and the protocols with a kernel; the backend of the
+  paper's large population sweeps (Figs 6, 8, 9, 10).
+
+``backend="auto"`` (the spec default) picks the vectorised backend whenever
+the scenario's (protocol, environment, failure, workload) combination is
+supported and falls back to the agent engine otherwise, so callers get the
+fast path for free without ever losing coverage.
+
+Kernel semantics differ from the agent engine in documented, statistically
+equivalent ways (random perfect matchings instead of collision-prone peer
+selection — see DESIGN.md §7), so a vectorised run is *not* bit-identical
+to an agent run of the same spec; ``tests/test_backends.py`` pins the two
+to agree in distribution on every supported combination.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.api.registry import FAILURES, PROTOCOLS, Registry
+from repro.failures.models import CorrelatedFailure, ExplicitFailure, UncorrelatedFailure
+from repro.simulator.result import RoundRecord, SimulationResult
+from repro.simulator.vectorized import (
+    VectorizedCountSketchReset,
+    VectorizedExtrema,
+    VectorizedPushSumRevert,
+    VectorizedSketchCount,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.spec import ScenarioSpec
+
+__all__ = [
+    "AgentBackend",
+    "BACKENDS",
+    "ExecutionBackend",
+    "VectorizedBackend",
+    "resolve_backend",
+    "run_with_backend",
+    "validate_backend",
+]
+
+#: The pseudo-backend resolved per scenario at run time.
+AUTO = "auto"
+
+#: Failure models the vectorised event loop can apply.
+_VECTOR_FAILURE_MODELS = ("uncorrelated", "correlated", "explicit")
+
+#: Per-protocol kernel capabilities: accepted constructor parameters, the
+#: engine modes the kernel can realise, and whether the kernel carries
+#: per-host values (needed by correlated failures and value changes).
+_KERNEL_TABLE: Dict[str, Dict[str, object]] = {
+    "push-sum-revert": {
+        "params": frozenset({"reversion", "adaptive"}),
+        "modes": ("exchange", "push"),
+        "has_values": True,
+    },
+    "push-sum-revert-full-transfer": {
+        "params": frozenset({"reversion", "parcels", "history"}),
+        "modes": ("push",),
+        "has_values": True,
+    },
+    "count-sketch-reset": {
+        "params": frozenset({"bins", "bits", "cutoff", "identifiers_per_host"}),
+        "modes": ("exchange", "push"),
+        "has_values": False,
+    },
+    "sketch-count": {
+        "params": frozenset({"bins", "bits", "identifiers_per_host"}),
+        "modes": ("exchange", "push"),
+        "has_values": False,
+    },
+    "extrema-gossip": {
+        "params": frozenset({"maximum"}),
+        "modes": ("exchange",),
+        "has_values": True,
+    },
+    "extrema-reset": {
+        "params": frozenset({"maximum", "cutoff"}),
+        "modes": ("exchange",),
+        "has_values": True,
+    },
+}
+
+
+class ExecutionBackend:
+    """How a :class:`~repro.api.spec.ScenarioSpec` gets executed.
+
+    Backends expose two operations: :meth:`supports`, which reports *why* a
+    scenario cannot run here (``None`` means it can), and :meth:`run`, which
+    executes a supported scenario into the same
+    :class:`~repro.simulator.SimulationResult` shape regardless of engine.
+    """
+
+    name: str = "abstract"
+
+    def supports(self, spec: "ScenarioSpec") -> Optional[str]:
+        """``None`` when the backend can run ``spec``, else a human reason."""
+        raise NotImplementedError
+
+    def run(self, spec: "ScenarioSpec") -> SimulationResult:
+        """Execute ``spec`` for ``spec.rounds`` rounds."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class AgentBackend(ExecutionBackend):
+    """The reference per-host engine; runs everything a spec can describe."""
+
+    name = "agent"
+
+    def supports(self, spec: "ScenarioSpec") -> Optional[str]:
+        return None
+
+    def run(self, spec: "ScenarioSpec") -> SimulationResult:
+        result = spec.build().run(spec.rounds)
+        result.metadata["backend"] = self.name
+        return result
+
+
+class VectorizedBackend(ExecutionBackend):
+    """The NumPy kernels, exposed through the declarative scenario surface."""
+
+    name = "vectorized"
+
+    # ------------------------------------------------------------ capability
+    def supports(self, spec: "ScenarioSpec") -> Optional[str]:
+        if spec.environment != "uniform":
+            return (
+                f"environment {spec.environment!r} is not vectorised "
+                "(only 'uniform' gossip has kernels)"
+            )
+        if spec.group_relative:
+            return "group-relative error accounting requires the agent engine"
+        entry = _KERNEL_TABLE.get(spec.protocol)
+        if entry is None:
+            supported = ", ".join(sorted(_KERNEL_TABLE))
+            return f"protocol {spec.protocol!r} has no vectorised kernel (kernels: {supported})"
+        if spec.mode not in entry["modes"]:
+            modes = " or ".join(repr(mode) for mode in entry["modes"])
+            return f"protocol {spec.protocol!r} is only vectorised in mode {modes}"
+        unknown = set(spec.protocol_params) - entry["params"]
+        if unknown:
+            return (
+                f"protocol parameter(s) {sorted(unknown)} are not supported by the "
+                f"vectorised {spec.protocol!r} kernel"
+            )
+        for event in spec.events:
+            kind = event["event"]
+            if kind == "failure":
+                if event["model"] not in _VECTOR_FAILURE_MODELS:
+                    models = ", ".join(_VECTOR_FAILURE_MODELS)
+                    return (
+                        f"failure model {event['model']!r} is not vectorised "
+                        f"(supported models: {models})"
+                    )
+            elif kind == "value-change":
+                if not entry["has_values"]:
+                    return (
+                        f"value-change events need a value-carrying kernel; "
+                        f"{spec.protocol!r} aggregates counts"
+                    )
+            else:
+                return f"{kind!r} events require the agent engine"
+        return None
+
+    # ---------------------------------------------------------- construction
+    def build_kernel(self, spec: "ScenarioSpec"):
+        """The configured kernel for ``spec`` (validates support eagerly).
+
+        Exposed publicly for experiments that need raw kernel state — the
+        Figure 6 counter CDFs read ``counter_values_for_bit`` — while still
+        routing construction through the backend's dispatch rules.
+        """
+        reason = self.supports(spec)
+        if reason is not None:
+            raise ValueError(f"backend 'vectorized' cannot run this scenario: {reason}")
+        params = spec._resolved_protocol_params()
+        if spec.protocol == "push-sum-revert":
+            return VectorizedPushSumRevert(
+                spec.build_values(),
+                float(params.get("reversion", 0.01)),
+                mode="pushpull" if spec.mode == "exchange" else "push",
+                adaptive=bool(params.get("adaptive", False)),
+                seed=spec.seed,
+            )
+        if spec.protocol == "push-sum-revert-full-transfer":
+            return VectorizedPushSumRevert(
+                spec.build_values(),
+                float(params.get("reversion", 0.1)),
+                mode="full-transfer",
+                parcels=int(params.get("parcels", 4)),
+                history=int(params.get("history", 3)),
+                seed=spec.seed,
+            )
+        if spec.protocol == "count-sketch-reset":
+            kwargs = dict(
+                bins=int(params.get("bins", 64)),
+                bits=int(params.get("bits", 24)),
+                identifiers_per_host=int(params.get("identifiers_per_host", 1)),
+                pull=spec.mode == "exchange",
+                seed=spec.seed,
+            )
+            if "cutoff" in params:
+                kwargs["cutoff"] = params["cutoff"]
+            return VectorizedCountSketchReset(spec.n_hosts, **kwargs)
+        if spec.protocol == "sketch-count":
+            # Defaults mirror the agent SketchCount (64 x 32) so one spec
+            # means one sketch geometry on either backend.
+            return VectorizedSketchCount(
+                spec.n_hosts,
+                bins=int(params.get("bins", 64)),
+                bits=int(params.get("bits", 32)),
+                identifiers_per_host=int(params.get("identifiers_per_host", 1)),
+                pull=spec.mode == "exchange",
+                seed=spec.seed,
+            )
+        # extrema-gossip / extrema-reset (reset defaults to the agent cutoff of 15)
+        cutoff = int(params.get("cutoff", 15)) if spec.protocol == "extrema-reset" else None
+        return VectorizedExtrema(
+            spec.build_values(),
+            maximum=bool(params.get("maximum", True)),
+            cutoff=cutoff,
+            seed=spec.seed,
+        )
+
+    # -------------------------------------------------------------- execution
+    def run(self, spec: "ScenarioSpec") -> SimulationResult:
+        kernel = self.build_kernel(spec)
+        values = getattr(kernel, "initial", getattr(kernel, "own", None))
+        if values is None and any(
+            entry["event"] == "failure" and entry["model"] == "correlated"
+            for entry in spec.events
+        ):
+            # Counting kernels carry no values; rebuild the workload so a
+            # correlated failure can still order hosts the way the agent does.
+            values = spec.build_values()
+        values_array = np.asarray(values, dtype=float) if values is not None else None
+        events_by_round: Dict[int, List[dict]] = {}
+        for entry in spec.events:
+            events_by_round.setdefault(int(entry["round"]), []).append(entry)
+
+        result = SimulationResult(
+            protocol_name=spec.protocol,
+            aggregate=_aggregate_kind(spec),
+            seed=spec.seed,
+            metadata={
+                "mode": spec.mode,
+                "environment": "UniformEnvironment",
+                "n_initial": spec.n_hosts,
+                "protocol_params": dict(spec.protocol_params),
+                "backend": self.name,
+                "kernel": type(kernel).__name__,
+            },
+        )
+        for t in range(spec.rounds):
+            for entry in events_by_round.get(t, ()):
+                self._apply_event(kernel, entry, values_array)
+            kernel.step()
+            result.append(self._record_round(kernel, spec, t))
+        return result
+
+    def _apply_event(self, kernel, entry: dict, values_array: Optional[np.ndarray]) -> None:
+        kind = entry["event"]
+        if kind == "value-change":
+            kernel.change_values({int(key): float(value) for key, value in entry["values"].items()})
+            return
+        # failure — instantiate the registered model so parameter defaults
+        # and validation stay identical to the agent path.
+        params = {k: v for k, v in entry.items() if k not in ("event", "round", "model")}
+        model = FAILURES.create(entry["model"], **params)
+        if isinstance(model, UncorrelatedFailure):
+            kernel.fail_random_fraction(model.fraction)
+        elif isinstance(model, CorrelatedFailure):
+            if hasattr(kernel, "fail_extreme_fraction"):
+                kernel.fail_extreme_fraction(model.fraction, highest=model.highest)
+            else:
+                self._fail_correlated(kernel, values_array, model.fraction, model.highest)
+        elif isinstance(model, ExplicitFailure):
+            valid = [i for i in model.host_ids if 0 <= int(i) < kernel.n]
+            if valid:
+                kernel.fail(valid)
+        else:  # pragma: no cover - supports() rejects everything else
+            raise ValueError(f"failure model {entry['model']!r} is not vectorised")
+
+    @staticmethod
+    def _fail_correlated(
+        kernel, values_array: Optional[np.ndarray], fraction: float, highest: bool
+    ) -> None:
+        """Correlated failure for kernels without per-host values.
+
+        The counting kernels carry no values, but the backend built the
+        workload, so it can reproduce the agent semantics (fail the hosts
+        with the most extreme *workload* values) directly.
+        """
+        alive_idx = np.nonzero(kernel.alive)[0]
+        count = int(round(fraction * alive_idx.size))
+        if count == 0:
+            return
+        if values_array is None:
+            values_array = np.zeros(kernel.n, dtype=float)
+        order = alive_idx[np.argsort(values_array[alive_idx])]
+        kernel.fail(order[-count:] if highest else order[:count])
+
+    @staticmethod
+    def _record_round(kernel, spec: "ScenarioSpec", t: int) -> RoundRecord:
+        estimates = kernel.estimates()
+        truth = kernel.truth()
+        n_alive = int(kernel.alive.sum())
+        if estimates.size:
+            deltas = estimates - truth
+            stddev_error = float(np.sqrt(np.mean(deltas**2)))
+            max_abs_error = float(np.max(np.abs(deltas)))
+            mean_abs_error = float(np.mean(np.abs(deltas)))
+            mean_estimate = float(np.mean(estimates))
+        else:
+            stddev_error = max_abs_error = mean_abs_error = float("nan")
+            mean_estimate = float("nan")
+        stored: Optional[Dict[int, float]] = None
+        if spec.store_estimates:
+            alive_idx = np.nonzero(kernel.alive)[0]
+            stored = {int(host): float(value) for host, value in zip(alive_idx, estimates)}
+        return RoundRecord(
+            round_index=t,
+            truth=truth,
+            n_alive=n_alive,
+            mean_estimate=mean_estimate,
+            stddev_error=stddev_error,
+            max_abs_error=max_abs_error,
+            mean_abs_error=mean_abs_error,
+            bytes_sent=0,
+            estimates=stored,
+            group_sizes=None,
+        )
+
+
+def _aggregate_kind(spec: "ScenarioSpec") -> str:
+    """The aggregate the scenario's protocol computes (extrema depend on params)."""
+    if spec.protocol in ("extrema-gossip", "extrema-reset"):
+        return "max" if spec.protocol_params.get("maximum", True) else "min"
+    return PROTOCOLS.get(spec.protocol).aggregate
+
+
+BACKENDS = Registry("backend")
+BACKENDS.register("agent", AgentBackend())
+BACKENDS.register("vectorized", VectorizedBackend())
+
+
+def resolve_backend(spec: "ScenarioSpec") -> str:
+    """The concrete backend name ``spec`` will run on (``"auto"`` resolved)."""
+    if spec.backend == AUTO:
+        vectorized = BACKENDS.get("vectorized")
+        return "vectorized" if vectorized.supports(spec) is None else "agent"
+    return spec.backend
+
+
+def validate_backend(spec: "ScenarioSpec") -> None:
+    """Reject impossible backend requests at spec construction time.
+
+    ``backend="auto"`` always validates (it can fall back to the agent
+    engine); an explicit backend must exist and must support the scenario,
+    so a typo or an unsupported combination fails with an actionable
+    message instead of surfacing mid-run inside a process pool.
+    """
+    if spec.backend == AUTO:
+        return
+    if spec.backend not in BACKENDS:
+        known = ", ".join(sorted([AUTO, *BACKENDS.keys()]))
+        raise ValueError(f"unknown backend {spec.backend!r}; expected one of: {known}")
+    reason = BACKENDS.get(spec.backend).supports(spec)
+    if reason is not None:
+        raise ValueError(
+            f"backend {spec.backend!r} cannot run this scenario: {reason}; "
+            "use backend='agent' (or 'auto' to fall back automatically)"
+        )
+
+
+def run_with_backend(spec: "ScenarioSpec") -> SimulationResult:
+    """Execute ``spec`` on its resolved backend."""
+    name = resolve_backend(spec)
+    result = BACKENDS.get(name).run(spec)
+    result.metadata.setdefault("backend", name)
+    return result

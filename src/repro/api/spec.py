@@ -56,6 +56,10 @@ NAMED_CUTOFFS: Dict[str, Any] = {
 
 _EVENT_KINDS = ("failure", "join", "value-change", "churn")
 
+#: Protocols whose ``cutoff`` parameter is an integer age in rounds, not a
+#: freshness *function* — :data:`NAMED_CUTOFFS` names do not apply to them.
+_INTEGER_CUTOFF_PROTOCOLS = frozenset({"extrema-reset"})
+
 
 def _jsonify(value: Any) -> Any:
     """Deep-copy ``value`` with tuples normalised to lists.
@@ -168,6 +172,14 @@ class ScenarioSpec:
         follow :mod:`repro.failures`.
     rounds / mode / seed / group_relative / store_estimates:
         Engine options, passed straight to :class:`repro.Simulation`.
+    backend:
+        Execution backend (:mod:`repro.api.backends`): ``"agent"`` (the
+        per-host reference engine), ``"vectorized"`` (the NumPy kernels) or
+        ``"auto"`` (default — vectorised whenever the scenario's protocol /
+        environment / failure / workload combination has a kernel, agent
+        otherwise).  An explicit backend is validated eagerly: requesting
+        ``"vectorized"`` for an unsupported combination fails here, at
+        construction, with the reason.
     name:
         Optional label used by sweep tables and reports.
     """
@@ -185,6 +197,7 @@ class ScenarioSpec:
     events: Tuple[Dict[str, Any], ...] = ()
     group_relative: bool = False
     store_estimates: bool = False
+    backend: str = "auto"
     name: str = ""
 
     # -------------------------------------------------------------- validation
@@ -207,7 +220,16 @@ class ScenarioSpec:
         ENVIRONMENTS.validate_params(self.environment, self.n_hosts, **self.environment_params)
         WORKLOADS.validate_params(self.workload, self.n_hosts, **self._workload_call_params())
         cutoff = self.protocol_params.get("cutoff")
-        if isinstance(cutoff, str):
+        if self.protocol in _INTEGER_CUTOFF_PROTOCOLS:
+            if cutoff is not None and (isinstance(cutoff, bool) or not isinstance(cutoff, int)):
+                raise ValueError(
+                    f"protocol {self.protocol!r} takes a positive integer 'cutoff' "
+                    f"(a maximum age in rounds), got {cutoff!r}; named cutoff "
+                    "functions apply to the sketch protocols only"
+                )
+            if cutoff is not None and cutoff < 1:
+                raise ValueError(f"protocol {self.protocol!r} needs cutoff >= 1, got {cutoff}")
+        elif isinstance(cutoff, str):
             if cutoff not in NAMED_CUTOFFS:
                 raise ValueError(
                     f"unknown cutoff name {cutoff!r}; expected one of {sorted(NAMED_CUTOFFS)} "
@@ -219,6 +241,11 @@ class ScenarioSpec:
                     f"cutoff pairs must be [intercept, slope] numbers, got {cutoff!r}"
                 )
             linear_cutoff(float(cutoff[0]), float(cutoff[1]))  # bounds-checks eagerly
+        # Backend validation runs last so its "cannot run this scenario"
+        # messages only fire for otherwise-well-formed specs.
+        from repro.api.backends import validate_backend
+
+        validate_backend(self)
 
     def __hash__(self):
         # The generated frozen-dataclass hash chokes on the dict fields;
@@ -234,12 +261,20 @@ class ScenarioSpec:
 
     def _resolved_protocol_params(self) -> Dict[str, Any]:
         params = dict(self.protocol_params)
+        if self.protocol in _INTEGER_CUTOFF_PROTOCOLS:
+            return params  # integer age cutoff; nothing to resolve
         cutoff = params.get("cutoff")
         if isinstance(cutoff, str):
             params["cutoff"] = NAMED_CUTOFFS[cutoff]
         elif isinstance(cutoff, (list, tuple)):
             intercept, slope = cutoff
             params["cutoff"] = linear_cutoff(float(intercept), float(slope))
+        elif cutoff is None and "cutoff" in params:
+            # JSON ``"cutoff": null`` means "no decay" — the same as the
+            # named "off" cutoff, and what the vectorised kernels accept;
+            # resolving it here keeps the agent protocols (which expect a
+            # callable) from crashing mid-run.
+            params["cutoff"] = NAMED_CUTOFFS["off"]
         return params
 
     def build_protocol(self):
@@ -262,7 +297,12 @@ class ScenarioSpec:
         return built
 
     def build(self) -> Simulation:
-        """A ready-to-run :class:`repro.Simulation` for this scenario."""
+        """A ready-to-run :class:`repro.Simulation` (the *agent* realisation).
+
+        This always constructs the per-host engine regardless of
+        :attr:`backend`; use :meth:`run` / :func:`run_scenario` to dispatch
+        through the backend layer.
+        """
         return Simulation(
             self.build_protocol(),
             self.build_environment(),
@@ -274,9 +314,17 @@ class ScenarioSpec:
             store_estimates=self.store_estimates,
         )
 
+    def resolved_backend(self) -> str:
+        """The concrete backend this scenario runs on (``"auto"`` resolved)."""
+        from repro.api.backends import resolve_backend
+
+        return resolve_backend(self)
+
     def run(self) -> SimulationResult:
-        """Build and run the scenario for :attr:`rounds` rounds."""
-        return self.build().run(self.rounds)
+        """Run the scenario for :attr:`rounds` rounds on its backend."""
+        from repro.api.backends import run_with_backend
+
+        return run_with_backend(self)
 
     # ------------------------------------------------------------ serialisation
     def to_dict(self) -> Dict[str, Any]:

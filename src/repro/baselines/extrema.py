@@ -67,6 +67,19 @@ class ExtremaGossip(ExchangeProtocol):
         return ExtremaState(own_value=float(value), own_id=host_id,
                             best_value=float(value), best_id=host_id)
 
+    def rebase(self, state: ExtremaState, value: float) -> None:
+        """Update the host's own datum (used by value-change events).
+
+        When the host currently advertises its *own* value, the advertised
+        copy moves with it; a best value learned from elsewhere is kept (it
+        can only be displaced by gossip or, under :class:`ExtremaReset`, by
+        ageing out).  Mirrors
+        :meth:`repro.simulator.vectorized.VectorizedExtrema.change_values`.
+        """
+        state.own_value = float(value)
+        if state.best_id == state.own_id:
+            state.best_value = float(value)
+
     def _better(self, a: float, b: float) -> bool:
         return a > b if self.maximum else a < b
 
@@ -142,6 +155,11 @@ class ExtremaReset(ExtremaGossip):
     def begin_round(self, state: ExtremaState, round_index: int, rng: np.random.Generator) -> None:
         # Our own value is always fresh; everything learned from others ages.
         if state.best_id == state.own_id:
+            # Re-sync the advertised copy to the *current* own value: after a
+            # value change the host may have re-absorbed its own stale
+            # advertisement from the network, and refreshing that would keep
+            # the outdated value alive forever.
+            state.best_value = state.own_value
             state.best_age = 0
         else:
             state.best_age += 1

@@ -20,6 +20,11 @@ Subcommands
     Run the paper's evaluation figures (all of them or a subset) under the
     ``quick`` or ``full`` profile and print the rendered tables.
 
+``bench``
+    Time identical scenarios on the agent and vectorised execution
+    backends across population sizes and write ``BENCH_core.json`` (the
+    repo's perf trajectory); ``--smoke`` is the seconds-long CI variant.
+
 ``demo``
     Run a small Push-Sum-Revert demonstration on a uniform network with a
     correlated failure and print the error trajectory.
@@ -47,6 +52,7 @@ from repro.mobility.stats import (
     intercontact_time_stats,
 )
 from repro.mobility.synthetic_haggle import generate_haggle_like_trace, haggle_dataset
+from repro.perf import add_bench_arguments, run_bench_command
 
 __all__ = ["main", "build_parser"]
 
@@ -81,6 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--hosts", type=int, default=None, help="population size")
     run.add_argument("--rounds", type=int, default=None, help="gossip rounds to simulate")
     run.add_argument("--mode", choices=("push", "exchange"), default=None)
+    run.add_argument(
+        "--backend", choices=("agent", "vectorized", "auto"), default=None,
+        help="execution backend (default: auto — vectorised whenever supported)",
+    )
     run.add_argument("--seed", type=int, default=None, help="root random seed")
     run.add_argument(
         "--group-relative", action="store_true", help="measure errors per contact group"
@@ -127,11 +137,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("--seed", type=int, default=0, help="root random seed")
     experiments.add_argument(
+        "--backend", choices=("agent", "vectorized", "auto"), default="vectorized",
+        help="execution backend for the uniform-gossip figures (fig8/9/10)",
+    )
+    experiments.add_argument(
         "--no-ablations", action="store_true", help="skip the design-choice ablations"
     )
     experiments.add_argument(
         "--output", default=None, help="also write the report to this file"
     )
+
+    bench = subparsers.add_parser(
+        "bench", help="time the agent vs vectorised backends and write BENCH_core.json"
+    )
+    add_bench_arguments(bench)
 
     demo = subparsers.add_parser(
         "demo", help="small Push-Sum-Revert demo with a correlated failure"
@@ -170,6 +189,7 @@ def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
         "rounds": args.rounds,
         "mode": args.mode,
         "seed": args.seed,
+        "backend": args.backend,
     }
     for key, value in overrides.items():
         if value is not None:
@@ -208,7 +228,8 @@ def _command_run(args: argparse.Namespace) -> int:
         return 0
     print(
         f"Scenario {spec.label()}: {spec.protocol} over {spec.environment} gossip, "
-        f"{spec.n_hosts} hosts, {spec.rounds} rounds (mode={spec.mode}, seed={spec.seed})"
+        f"{spec.n_hosts} hosts, {spec.rounds} rounds "
+        f"(mode={spec.mode}, seed={spec.seed}, backend={result.metadata.get('backend', spec.backend)})"
     )
     print(
         render_series_table(
@@ -266,6 +287,7 @@ def _command_experiments(args: argparse.Namespace) -> int:
         seed=args.seed,
         only=args.only,
         include_ablations=not args.no_ablations,
+        backend=args.backend,
     )
     text = report.text()
     print(text)
@@ -342,6 +364,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list(args)
     if args.command == "experiments":
         return _command_experiments(args)
+    if args.command == "bench":
+        return run_bench_command(args)
     if args.command == "demo":
         return _command_demo(args)
     if args.command == "trace":

@@ -20,9 +20,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.render import render_series_table
+from repro.api.spec import run_scenario
+from repro.experiments.fig8_uncorrelated import push_sum_spec
 from repro.metrics.convergence import plateau_error, reconvergence_round
-from repro.simulator.vectorized import VectorizedPushSumRevert
-from repro.workloads.values import uniform_values
 
 __all__ = ["Fig10Result", "run_fig10", "render_fig10", "DEFAULT_LAMBDAS"]
 
@@ -75,11 +75,23 @@ def run_fig10(
     history: int = 3,
     include_full_transfer: bool = True,
     seed: int = 0,
+    backend: str = "vectorized",
 ) -> Fig10Result:
-    """Run both panels of the Figure 10 experiment (scaled to ``n_hosts``)."""
+    """Run both panels of the Figure 10 experiment (scaled to ``n_hosts``).
+
+    Every (λ, variant) pair is one declarative scenario executed through the
+    backend layer; panel (b) runs the ``push-sum-revert-full-transfer``
+    protocol.
+    """
     if failure_round >= rounds:
         raise ValueError("failure_round must fall inside the simulated rounds")
-    values = uniform_values(n_hosts, seed=seed)
+    failure = {
+        "event": "failure",
+        "round": failure_round,
+        "model": "correlated",
+        "fraction": failure_fraction,
+        "highest": True,
+    }
     result = Fig10Result(
         n_hosts=n_hosts,
         rounds=rounds,
@@ -91,23 +103,20 @@ def run_fig10(
     )
 
     def run_variant(reversion: float, mode: str) -> Tuple[List[float], List[float]]:
-        kernel = VectorizedPushSumRevert(
-            values,
+        spec = push_sum_spec(
+            n_hosts,
+            rounds,
             reversion,
             mode=mode,
             parcels=parcels,
             history=history,
+            events=(failure,),
             seed=seed,
+            backend=backend,
+            name=f"fig10 lambda={reversion:g} ({mode})",
         )
-        errors: List[float] = []
-        truths: List[float] = []
-        for round_index in range(rounds):
-            if round_index == failure_round:
-                kernel.fail_highest_fraction(failure_fraction)
-            kernel.step()
-            errors.append(kernel.error())
-            truths.append(kernel.truth())
-        return errors, truths
+        run = run_scenario(spec)
+        return run.errors(), run.truths()
 
     for index, reversion in enumerate(lambdas):
         basic_errors, truths = run_variant(float(reversion), "pushpull")

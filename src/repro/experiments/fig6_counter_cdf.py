@@ -25,7 +25,8 @@ import numpy as np
 from repro.analysis.cdf import cdf_at
 from repro.analysis.cutoff_fit import CutoffFit, fit_linear_cutoff
 from repro.analysis.render import render_table
-from repro.simulator.vectorized import VectorizedCountSketchReset
+from repro.api.backends import BACKENDS
+from repro.api.spec import ScenarioSpec
 
 __all__ = ["Fig6Result", "run_fig6", "render_fig6"]
 
@@ -65,7 +66,13 @@ def run_fig6(
     quantile: float = 0.99,
     seed: int = 0,
 ) -> Fig6Result:
-    """Collect converged counter distributions for several network sizes."""
+    """Collect converged counter distributions for several network sizes.
+
+    The per-size kernels are built through the vectorised execution backend
+    (:mod:`repro.api.backends`) — this experiment reads raw counter state
+    (:meth:`~repro.simulator.vectorized.VectorizedCountSketchReset.counter_values_for_bit`),
+    which only the vectorised realisation exposes.
+    """
     result = Fig6Result(
         sizes=tuple(int(size) for size in sizes),
         bins=bins,
@@ -74,8 +81,19 @@ def run_fig6(
         seed=seed,
     )
     pooled: Dict[int, List[int]] = {}
+    vectorized = BACKENDS.get("vectorized")
     for size in result.sizes:
-        kernel = VectorizedCountSketchReset(size, bins=bins, bits=bits, seed=seed)
+        spec = ScenarioSpec(
+            protocol="count-sketch-reset",
+            protocol_params={"bins": bins, "bits": bits},
+            workload="constant",
+            n_hosts=size,
+            rounds=convergence_rounds,
+            seed=seed,
+            backend="vectorized",
+            name=f"fig6 n={size}",
+        )
+        kernel = vectorized.build_kernel(spec)
         kernel.step_many(convergence_rounds)
         per_bit: Dict[int, np.ndarray] = {}
         for bit_index in range(bits):

@@ -18,13 +18,57 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.render import render_series_table
-from repro.simulator.vectorized import VectorizedPushSumRevert
-from repro.workloads.values import uniform_values
+from repro.api.spec import ScenarioSpec, run_scenario
 
-__all__ = ["Fig8Result", "run_fig8", "render_fig8", "DEFAULT_LAMBDAS"]
+__all__ = ["Fig8Result", "run_fig8", "render_fig8", "DEFAULT_LAMBDAS", "push_sum_spec"]
 
 #: Reversion constants swept in the paper's figure.
 DEFAULT_LAMBDAS: Tuple[float, ...] = (0.0, 0.001, 0.01, 0.1, 0.5)
+
+#: Kernel gossip modes expressed as (protocol, engine-mode) spec fields.
+_MODE_TABLE = {
+    "pushpull": ("push-sum-revert", "exchange"),
+    "push": ("push-sum-revert", "push"),
+    "full-transfer": ("push-sum-revert-full-transfer", "push"),
+}
+
+
+def push_sum_spec(
+    n_hosts: int,
+    rounds: int,
+    reversion: float,
+    *,
+    mode: str = "pushpull",
+    parcels: int = 4,
+    history: int = 3,
+    events: Tuple[dict, ...] = (),
+    seed: int = 0,
+    backend: str = "vectorized",
+    name: str = "",
+) -> ScenarioSpec:
+    """The declarative scenario behind one Push-Sum(-Revert) figure curve.
+
+    Shared by the Figure 8 and Figure 10 runners so both execute through the
+    backend layer (:mod:`repro.api.backends`) instead of instantiating
+    kernels by hand.
+    """
+    if mode not in _MODE_TABLE:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {sorted(_MODE_TABLE)}")
+    protocol, engine_mode = _MODE_TABLE[mode]
+    params: Dict[str, object] = {"reversion": float(reversion)}
+    if mode == "full-transfer":
+        params.update({"parcels": int(parcels), "history": int(history)})
+    return ScenarioSpec(
+        protocol=protocol,
+        protocol_params=params,
+        n_hosts=n_hosts,
+        rounds=rounds,
+        mode=engine_mode,
+        seed=seed,
+        events=events,
+        backend=backend,
+        name=name,
+    )
 
 
 @dataclass
@@ -59,11 +103,22 @@ def run_fig8(
     lambdas: Sequence[float] = DEFAULT_LAMBDAS,
     mode: str = "pushpull",
     seed: int = 0,
+    backend: str = "vectorized",
 ) -> Fig8Result:
-    """Run the Figure 8 experiment (scaled to ``n_hosts``)."""
+    """Run the Figure 8 experiment (scaled to ``n_hosts``).
+
+    Each λ curve is one declarative scenario executed through the backend
+    layer (``backend="vectorized"`` by default; pass ``"agent"`` to
+    cross-check against the per-host engine at small populations).
+    """
     if failure_round >= rounds:
         raise ValueError("failure_round must fall inside the simulated rounds")
-    values = uniform_values(n_hosts, seed=seed)
+    failure = {
+        "event": "failure",
+        "round": failure_round,
+        "model": "uncorrelated",
+        "fraction": failure_fraction,
+    }
     result = Fig8Result(
         n_hosts=n_hosts,
         rounds=rounds,
@@ -72,18 +127,20 @@ def run_fig8(
         seed=seed,
     )
     for index, reversion in enumerate(lambdas):
-        kernel = VectorizedPushSumRevert(values, reversion, mode=mode, seed=seed)
-        errors: List[float] = []
-        truths: List[float] = []
-        for round_index in range(rounds):
-            if round_index == failure_round:
-                kernel.fail_random_fraction(failure_fraction)
-            kernel.step()
-            errors.append(kernel.error())
-            truths.append(kernel.truth())
-        result.errors[float(reversion)] = errors
+        spec = push_sum_spec(
+            n_hosts,
+            rounds,
+            float(reversion),
+            mode=mode,
+            events=(failure,),
+            seed=seed,
+            backend=backend,
+            name=f"fig8 lambda={reversion:g}",
+        )
+        run = run_scenario(spec)
+        result.errors[float(reversion)] = run.errors()
         if index == 0:
-            result.truths = truths
+            result.truths = run.truths()
     return result
 
 

@@ -19,11 +19,41 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.analysis.render import render_series_table
-from repro.core.cutoff import default_cutoff
+from repro.api.spec import ScenarioSpec, run_scenario
 from repro.metrics.convergence import reconvergence_round
-from repro.simulator.vectorized import VectorizedCountSketchReset
 
-__all__ = ["Fig9Result", "run_fig9", "render_fig9"]
+__all__ = ["Fig9Result", "run_fig9", "render_fig9", "counting_spec"]
+
+
+def counting_spec(
+    n_hosts: int,
+    rounds: int,
+    *,
+    bins: int,
+    bits: int,
+    cutoff: str = "default",
+    events=(),
+    seed: int = 0,
+    backend: str = "vectorized",
+    name: str = "",
+) -> ScenarioSpec:
+    """One declarative Count-Sketch-Reset counting scenario.
+
+    ``cutoff`` is a :data:`~repro.api.spec.NAMED_CUTOFFS` name —
+    ``"default"`` for the paper's f(k) = 7 + k/4 propagation limiting,
+    ``"off"`` for the naive never-decaying variant.
+    """
+    return ScenarioSpec(
+        protocol="count-sketch-reset",
+        protocol_params={"bins": int(bins), "bits": int(bits), "cutoff": cutoff},
+        workload="constant",
+        n_hosts=n_hosts,
+        rounds=rounds,
+        seed=seed,
+        events=events,
+        backend=backend,
+        name=name,
+    )
 
 
 @dataclass
@@ -67,10 +97,22 @@ def run_fig9(
     bins: int = 32,
     bits: int = 20,
     seed: int = 0,
+    backend: str = "vectorized",
 ) -> Fig9Result:
-    """Run the Figure 9 experiment (scaled to ``n_hosts``)."""
+    """Run the Figure 9 experiment (scaled to ``n_hosts``).
+
+    Both variants are declarative scenarios executed through the backend
+    layer — the same sketch with the propagation-limiting cutoff on
+    (``"default"``) and off (``"off"``).
+    """
     if failure_round >= rounds:
         raise ValueError("failure_round must fall inside the simulated rounds")
+    failure = {
+        "event": "failure",
+        "round": failure_round,
+        "model": "uncorrelated",
+        "fraction": failure_fraction,
+    }
     result = Fig9Result(
         n_hosts=n_hosts,
         rounds=rounds,
@@ -80,28 +122,24 @@ def run_fig9(
         bits=bits,
         seed=seed,
     )
-    variants = {
-        "limited": VectorizedCountSketchReset(
-            n_hosts, bins=bins, bits=bits, cutoff=default_cutoff, seed=seed
-        ),
-        "naive": VectorizedCountSketchReset(
-            n_hosts, bins=bins, bits=bits, cutoff=None, seed=seed
-        ),
-    }
-    for name, kernel in variants.items():
-        errors: List[float] = []
-        truths: List[float] = []
-        for round_index in range(rounds):
-            if round_index == failure_round:
-                kernel.fail_random_fraction(failure_fraction)
-            kernel.step()
-            errors.append(kernel.error())
-            truths.append(kernel.truth())
+    for name, cutoff in (("limited", "default"), ("naive", "off")):
+        spec = counting_spec(
+            n_hosts,
+            rounds,
+            bins=bins,
+            bits=bits,
+            cutoff=cutoff,
+            events=(failure,),
+            seed=seed,
+            backend=backend,
+            name=f"fig9 propagation limiting {'on' if name == 'limited' else 'off'}",
+        )
+        run = run_scenario(spec)
         if name == "limited":
-            result.limited_errors = errors
-            result.truths = truths
+            result.limited_errors = run.errors()
+            result.truths = run.truths()
         else:
-            result.naive_errors = errors
+            result.naive_errors = run.errors()
     return result
 
 

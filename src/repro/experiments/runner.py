@@ -248,6 +248,7 @@ def run_all_experiments(
     seed: int = 0,
     only: Optional[List[str]] = None,
     include_ablations: bool = True,
+    backend: str = "vectorized",
 ) -> ExperimentReport:
     """Run the selected experiments and return their results plus rendered text.
 
@@ -259,6 +260,11 @@ def run_all_experiments(
         Restrict to a subset of experiment names (e.g. ``["fig8", "fig10"]``).
     include_ablations:
         Also run the DESIGN.md §6 ablations (cheap; included by default).
+    backend:
+        Execution backend for the uniform-gossip figures (fig8/9/10):
+        ``"vectorized"`` (default), ``"agent"`` or ``"auto"``.  Fig 6 reads
+        raw kernel state and always runs vectorised; Fig 11 replays contact
+        traces and always runs on the agent engine.
     """
     if profile not in PROFILES:
         raise ValueError(f"unknown profile {profile!r}; expected one of {sorted(PROFILES)}")
@@ -275,15 +281,15 @@ def run_all_experiments(
         report.results["fig6"] = result
         report.rendered["fig6"] = render_fig6(result)
     if wanted("fig8"):
-        result = run_fig8(seed=seed, **config["fig8"])
+        result = run_fig8(seed=seed, backend=backend, **config["fig8"])
         report.results["fig8"] = result
         report.rendered["fig8"] = render_fig8(result)
     if wanted("fig9"):
-        result = run_fig9(seed=seed, **config["fig9"])
+        result = run_fig9(seed=seed, backend=backend, **config["fig9"])
         report.results["fig9"] = result
         report.rendered["fig9"] = render_fig9(result)
     if wanted("fig10"):
-        result = run_fig10(seed=seed, **config["fig10"])
+        result = run_fig10(seed=seed, backend=backend, **config["fig10"])
         report.results["fig10"] = result
         report.rendered["fig10"] = render_fig10(result)
     if wanted("fig11"):

@@ -1,0 +1,309 @@
+"""Core performance benchmark: the agent engine vs the vectorised backend.
+
+The ROADMAP's north star is to run the paper's scenarios as fast as the
+hardware allows; this module is the measuring stick.  It times identical
+declarative scenarios (:class:`~repro.api.ScenarioSpec`) on the ``"agent"``
+and ``"vectorized"`` execution backends across population sizes, derives
+per-(protocol, size) speedups, and serialises everything to
+``BENCH_core.json`` — the repo's committed perf trajectory.  Three entry
+points share the implementation:
+
+* ``repro-aggregate bench`` / ``python -m repro bench`` — the CLI;
+* ``python benchmarks/bench_core.py`` — the standalone script;
+* :func:`run_core_benchmark` — the library call (used by tests).
+
+``--smoke`` runs a seconds-long configuration for CI; the committed
+numbers come from the full default configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.render import render_table
+from repro.api.spec import ScenarioSpec, run_scenario
+
+__all__ = [
+    "BenchRecord",
+    "run_core_benchmark",
+    "render_benchmark",
+    "write_benchmark",
+    "main",
+    "DEFAULT_SIZES",
+    "SMOKE_SIZES",
+]
+
+#: Populations timed by the full benchmark.
+DEFAULT_SIZES = (1_000, 10_000, 100_000)
+#: Populations timed by ``--smoke`` (seconds-long; used in CI).
+SMOKE_SIZES = (256, 1_024)
+
+#: The agent engine is O(population · rounds) of Python-level work; beyond
+#: these sizes a single timing run takes minutes, so the benchmark records
+#: the vectorised numbers alone (the speedup column needs both sides).
+AGENT_SIZE_CAPS = {
+    "push-sum-revert": 10_000,
+    "count-sketch-reset": 2_000,
+}
+
+
+@dataclass
+class BenchRecord:
+    """One timed (protocol, backend, population) cell."""
+
+    protocol: str
+    backend: str
+    n_hosts: int
+    rounds: int
+    repeats: int
+    best_seconds: float
+    mean_seconds: float
+
+    @property
+    def ms_per_round(self) -> float:
+        """Best-case wall-clock milliseconds per gossip round."""
+        return 1000.0 * self.best_seconds / self.rounds
+
+    @property
+    def host_rounds_per_second(self) -> float:
+        """Best-case (host · round) throughput — the scaling headline."""
+        return self.n_hosts * self.rounds / self.best_seconds
+
+
+def _bench_spec(protocol: str, n_hosts: int, rounds: int, backend: str, seed: int) -> ScenarioSpec:
+    """The scenario timed for one benchmark cell.
+
+    Both protocols include the paper's half-the-network failure so the
+    benchmark exercises the event path, not just the steady-state loop.
+    """
+    failure_round = max(1, rounds // 2)
+    failure = {
+        "event": "failure",
+        "round": failure_round,
+        "model": "uncorrelated",
+        "fraction": 0.5,
+    }
+    if protocol == "push-sum-revert":
+        return ScenarioSpec(
+            protocol="push-sum-revert",
+            protocol_params={"reversion": 0.1},
+            n_hosts=n_hosts,
+            rounds=rounds,
+            seed=seed,
+            events=(failure,),
+            backend=backend,
+            name=f"bench {protocol} n={n_hosts} ({backend})",
+        )
+    if protocol == "count-sketch-reset":
+        return ScenarioSpec(
+            protocol="count-sketch-reset",
+            protocol_params={"bins": 16, "bits": 18, "cutoff": "default"},
+            workload="constant",
+            n_hosts=n_hosts,
+            rounds=rounds,
+            seed=seed,
+            events=(failure,),
+            backend=backend,
+            name=f"bench {protocol} n={n_hosts} ({backend})",
+        )
+    raise ValueError(f"no benchmark scenario for protocol {protocol!r}")
+
+
+def _time_spec(spec: ScenarioSpec, repeats: int) -> List[float]:
+    """Wall-clock seconds for ``repeats`` complete runs of ``spec``."""
+    times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_scenario(spec)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def run_core_benchmark(
+    *,
+    sizes: Optional[Sequence[int]] = None,
+    rounds: int = 10,
+    repeats: int = 3,
+    seed: int = 0,
+    smoke: bool = False,
+    protocols: Sequence[str] = ("push-sum-revert", "count-sketch-reset"),
+) -> Dict[str, object]:
+    """Time every (protocol, backend, size) cell and return the payload.
+
+    The agent engine is skipped above :data:`AGENT_SIZE_CAPS` (its runtime
+    there is minutes per cell); the vectorised backend runs every size.
+    Speedups are reported wherever both backends were timed.
+    """
+    if rounds < 1 or repeats < 1:
+        raise ValueError("rounds and repeats must be >= 1")
+    chosen_sizes = tuple(int(size) for size in (sizes or (SMOKE_SIZES if smoke else DEFAULT_SIZES)))
+    if not chosen_sizes or any(size < 2 for size in chosen_sizes):
+        raise ValueError("sizes must be a non-empty sequence of populations >= 2")
+
+    records: List[BenchRecord] = []
+    for protocol in protocols:
+        cap = AGENT_SIZE_CAPS.get(protocol, max(chosen_sizes))
+        for n_hosts in chosen_sizes:
+            backends = ["vectorized"] + (["agent"] if n_hosts <= cap else [])
+            for backend in backends:
+                spec = _bench_spec(protocol, n_hosts, rounds, backend, seed)
+                times = _time_spec(spec, repeats)
+                records.append(
+                    BenchRecord(
+                        protocol=protocol,
+                        backend=backend,
+                        n_hosts=n_hosts,
+                        rounds=rounds,
+                        repeats=repeats,
+                        best_seconds=min(times),
+                        mean_seconds=sum(times) / len(times),
+                    )
+                )
+
+    by_cell = {(r.protocol, r.backend, r.n_hosts): r for r in records}
+    speedups: Dict[str, Dict[str, float]] = {}
+    for protocol in protocols:
+        for n_hosts in chosen_sizes:
+            agent = by_cell.get((protocol, "agent", n_hosts))
+            vectorized = by_cell.get((protocol, "vectorized", n_hosts))
+            if agent is None or vectorized is None:
+                continue
+            speedups.setdefault(protocol, {})[str(n_hosts)] = round(
+                agent.best_seconds / vectorized.best_seconds, 2
+            )
+
+    return {
+        "benchmark": "core-backends",
+        "schema_version": 1,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "config": {
+            "sizes": list(chosen_sizes),
+            "rounds": rounds,
+            "repeats": repeats,
+            "seed": seed,
+            "smoke": smoke,
+            "protocols": list(protocols),
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": __import__("numpy").__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "records": [
+            {
+                **asdict(record),
+                "ms_per_round": round(record.ms_per_round, 4),
+                "host_rounds_per_second": round(record.host_rounds_per_second, 1),
+            }
+            for record in records
+        ],
+        "speedups": speedups,
+    }
+
+
+def render_benchmark(payload: Dict[str, object]) -> str:
+    """The payload as an aligned text table plus the speedup summary."""
+    rows = [
+        [
+            record["protocol"],
+            record["backend"],
+            record["n_hosts"],
+            record["rounds"],
+            round(record["best_seconds"], 4),
+            record["ms_per_round"],
+            record["host_rounds_per_second"],
+        ]
+        for record in payload["records"]
+    ]
+    table = render_table(
+        ["protocol", "backend", "hosts", "rounds", "best (s)", "ms/round", "host-rounds/s"],
+        rows,
+    )
+    lines = [f"Core backend benchmark ({payload['config']['repeats']} repeats, best-of shown)", table]
+    speedups = payload.get("speedups") or {}
+    if speedups:
+        lines.append("\nVectorised speedup over the agent engine:")
+        speedup_rows = [
+            [protocol, n_hosts, f"{factor:g}x"]
+            for protocol, per_size in speedups.items()
+            for n_hosts, factor in per_size.items()
+        ]
+        lines.append(render_table(["protocol", "hosts", "speedup"], speedup_rows))
+    return "\n".join(lines)
+
+
+def write_benchmark(payload: Dict[str, object], path: str) -> None:
+    """Write the payload as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the benchmark flags (shared by the CLI and the script)."""
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-long configuration (small populations; used in CI)",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="*", default=None,
+        help=f"population sizes to time (default {list(DEFAULT_SIZES)}, smoke {list(SMOKE_SIZES)})",
+    )
+    parser.add_argument("--rounds", type=int, default=10, help="gossip rounds per timed run")
+    parser.add_argument("--repeats", type=int, default=3, help="timed runs per cell (best-of)")
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    parser.add_argument(
+        "--output", default="BENCH_core.json",
+        help="where to write the JSON payload (default: ./BENCH_core.json)",
+    )
+    parser.add_argument("--json", action="store_true", help="print the JSON payload to stdout")
+
+
+def run_bench_command(args: argparse.Namespace) -> int:
+    """Execute the benchmark for parsed flags (the `repro bench` body)."""
+    try:
+        payload = run_core_benchmark(
+            sizes=args.sizes,
+            rounds=args.rounds,
+            repeats=args.repeats,
+            seed=args.seed,
+            smoke=args.smoke,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_benchmark(payload))
+    if args.output:
+        try:
+            write_benchmark(payload, args.output)
+        except OSError as error:
+            # The timings were already printed above, so the work survives
+            # an unwritable path; report it in the CLI's error convention.
+            print(f"error: cannot write {args.output}: {error}", file=sys.stderr)
+            return 2
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python benchmarks/bench_core.py``)."""
+    parser = argparse.ArgumentParser(
+        prog="bench_core",
+        description="Time the agent vs vectorised execution backends",
+    )
+    add_bench_arguments(parser)
+    return run_bench_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

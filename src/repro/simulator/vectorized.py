@@ -4,11 +4,13 @@ The agent-based engine (:mod:`repro.simulator.engine`) is the reference
 implementation: it runs any protocol over any environment with per-host
 objects, which is ideal for the small trace-driven populations of Fig 11
 but too slow for the 10⁴–10⁵-host uniform-gossip sweeps of Figs 6, 8, 9
-and 10.  The kernels here re-implement exactly two protocols —
-Push-Sum-Revert (with all its optimisations) and Count-Sketch-Reset — as
-array programs over the whole population, restricted to the uniform
+and 10.  The kernels here re-implement the uniform-gossip protocols —
+Push-Sum-Revert (with all its optimisations), Count-Sketch-Reset, static
+FM Sketch-Count and extrema gossip (with and without freshness reset) —
+as array programs over the whole population, restricted to the uniform
 environment.  Unit tests cross-check the kernels against the agent-based
-implementations on small populations.
+implementations on small populations, and the backend layer
+(:mod:`repro.api.backends`) dispatches declarative scenarios onto them.
 
 Differences from the agent engine worth knowing about:
 
@@ -23,20 +25,148 @@ Differences from the agent engine worth knowing about:
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.core.cutoff import default_cutoff
 from repro.sketches.fm_sketch import PHI
 
-__all__ = ["VectorizedPushSumRevert", "VectorizedCountSketchReset"]
+__all__ = [
+    "VectorizedPushSumRevert",
+    "VectorizedCountSketchReset",
+    "VectorizedSketchCount",
+    "VectorizedExtrema",
+]
 
 #: Sentinel for "never heard of" in the vectorised counter kernel (int16-safe).
 _COUNTER_INFINITY = np.int16(30_000)
 
 
-class VectorizedPushSumRevert:
+def _geometric_identifier_mask(
+    rng: np.random.Generator, n: int, bins: int, bits: int, identifiers_per_host: int
+) -> np.ndarray:
+    """The (host, bin, bit) ownership mask of the FM-style sketch kernels.
+
+    Each identifier lands in a uniform bin with a geometric bit index
+    (P[bit = k] = 2^-(k+1), clamped to L-1) — the array analogue of the
+    hash-based coordinates in :mod:`repro.sketches.hashing`.
+    """
+    mask = np.zeros((n, bins, bits), dtype=bool)
+    for _ in range(identifiers_per_host):
+        owned_bins = rng.integers(0, bins, size=n)
+        owned_bits = np.minimum(rng.geometric(0.5, size=n) - 1, bits - 1)
+        mask[np.arange(n), owned_bins, owned_bits] = True
+    return mask
+
+
+def _prefix_rank(image: np.ndarray, bits: int) -> np.ndarray:
+    """Per (host, bin) length of the prefix of ones in a boolean bit image.
+
+    ``argmin`` over a boolean axis returns the first False; all-True rows
+    return 0 and must be mapped to the full width.
+    """
+    first_false = np.argmin(image, axis=2)
+    all_true = image.all(axis=2)
+    return np.where(all_true, bits, first_false)
+
+
+class _VectorizedKernel:
+    """Shared population machinery for the array kernels.
+
+    Subclass constructors set ``n`` (population size), ``rng`` (the kernel's
+    seeded generator), ``alive`` (boolean mask) and ``round_index``;
+    subclasses implement :meth:`step`, :meth:`estimates` and :meth:`truth`.
+    """
+
+    n: int
+    rng: np.random.Generator
+    alive: np.ndarray
+    round_index: int
+
+    def step(self) -> None:
+        """Execute one gossip round over the live hosts."""
+        raise NotImplementedError
+
+    def estimates(self) -> np.ndarray:
+        """Per-live-host estimates of the kernel's aggregate."""
+        raise NotImplementedError
+
+    def truth(self) -> float:
+        """The correct aggregate over the currently live hosts."""
+        raise NotImplementedError
+
+    def step_many(self, rounds: int) -> None:
+        """Execute several rounds."""
+        for _ in range(rounds):
+            self.step()
+
+    # --------------------------------------------------------------- failures
+    def fail(self, host_indices: Sequence[int]) -> None:
+        """Silently remove the given hosts from the computation."""
+        indices = np.asarray(list(host_indices), dtype=np.int64)
+        self.alive[indices] = False
+
+    def fail_random_fraction(self, fraction: float) -> np.ndarray:
+        """Fail a uniformly random fraction of the live hosts; returns their indices."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        alive_idx = np.nonzero(self.alive)[0]
+        count = int(round(fraction * alive_idx.size))
+        chosen = (
+            self.rng.choice(alive_idx, size=count, replace=False)
+            if count
+            else np.array([], dtype=np.int64)
+        )
+        self.alive[chosen] = False
+        return chosen
+
+    # -------------------------------------------------------------- estimates
+    def error(self) -> float:
+        """Standard deviation of the live hosts' estimates from the truth."""
+        estimates = self.estimates()
+        if estimates.size == 0:
+            return float("nan")
+        return float(np.sqrt(np.mean((estimates - self.truth()) ** 2)))
+
+
+class _ValueKernel(_VectorizedKernel):
+    """Kernels carrying one value per host.
+
+    The value array is what correlated failures order hosts by and what
+    value-change events rewrite; subclasses expose it via
+    :meth:`_host_values` and apply updates in :meth:`_set_host_value`.
+    """
+
+    def _host_values(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def _set_host_value(self, index: int, value: float) -> None:
+        raise NotImplementedError
+
+    def fail_extreme_fraction(self, fraction: float, *, highest: bool = True) -> np.ndarray:
+        """Fail the most extreme-valued fraction of live hosts; returns their indices."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        alive_idx = np.nonzero(self.alive)[0]
+        count = int(round(fraction * alive_idx.size))
+        if count == 0:
+            return np.array([], dtype=np.int64)
+        order = alive_idx[np.argsort(self._host_values()[alive_idx])]
+        chosen = order[-count:] if highest else order[:count]
+        self.alive[chosen] = False
+        return chosen
+
+    def change_values(self, new_values: Mapping[int, float]) -> None:
+        """Change hosts' underlying values mid-run (the value-change workload)."""
+        for host_id, value in new_values.items():
+            index = int(host_id)
+            if not 0 <= index < self.n:
+                raise ValueError(f"host {host_id} outside population of {self.n}")
+            self._set_host_value(index, float(value))
+
+
+class VectorizedPushSumRevert(_ValueKernel):
     """Array implementation of Push-Sum(-Revert) under uniform gossip.
 
     Parameters
@@ -180,39 +310,20 @@ class VectorizedPushSumRevert:
             self._history_total[idx, 0] = new_total[idx]
             self._history_filled[idx] = np.minimum(self._history_filled[idx] + 1, self.history)
 
-    def step_many(self, rounds: int) -> None:
-        """Execute several rounds."""
-        for _ in range(rounds):
-            self.step()
-
-    # --------------------------------------------------------------- failures
-    def fail(self, host_indices: Sequence[int]) -> None:
-        """Silently remove the given hosts from the computation."""
-        indices = np.asarray(list(host_indices), dtype=np.int64)
-        self.alive[indices] = False
-
-    def fail_random_fraction(self, fraction: float) -> np.ndarray:
-        """Fail a uniformly random fraction of the live hosts; returns their indices."""
-        if not 0.0 <= fraction <= 1.0:
-            raise ValueError("fraction must be in [0, 1]")
-        alive_idx = np.nonzero(self.alive)[0]
-        count = int(round(fraction * alive_idx.size))
-        chosen = self.rng.choice(alive_idx, size=count, replace=False) if count else np.array([], dtype=np.int64)
-        self.alive[chosen] = False
-        return chosen
-
+    # ------------------------------------------------- failures/value changes
     def fail_highest_fraction(self, fraction: float) -> np.ndarray:
         """Fail the highest-valued fraction of live hosts (correlated failure)."""
-        if not 0.0 <= fraction <= 1.0:
-            raise ValueError("fraction must be in [0, 1]")
-        alive_idx = np.nonzero(self.alive)[0]
-        count = int(round(fraction * alive_idx.size))
-        if count == 0:
-            return np.array([], dtype=np.int64)
-        order = alive_idx[np.argsort(self.initial[alive_idx])]
-        chosen = order[-count:]
-        self.alive[chosen] = False
-        return chosen
+        return self.fail_extreme_fraction(fraction, highest=True)
+
+    def _host_values(self) -> np.ndarray:
+        return self.initial
+
+    def _set_host_value(self, index: int, value: float) -> None:
+        # Mirrors ValueChangeEvent with rebase_state=True: only the revert
+        # anchor moves, so reversion gradually pulls the circulating mass
+        # towards the new value while the in-flight totals stay untouched —
+        # exactly the agent protocol's ``rebase`` hook.
+        self.initial[index] = value
 
     # -------------------------------------------------------------- estimates
     def _refresh_last_estimates(self, alive_idx: np.ndarray) -> None:
@@ -242,15 +353,8 @@ class VectorizedPushSumRevert:
             return float("nan")
         return float(self.initial[alive_idx].mean())
 
-    def error(self) -> float:
-        """Standard deviation of the live hosts' estimates from the truth."""
-        estimates = self.estimates()
-        if estimates.size == 0:
-            return float("nan")
-        return float(np.sqrt(np.mean((estimates - self.truth()) ** 2)))
 
-
-class VectorizedCountSketchReset:
+class VectorizedCountSketchReset(_VectorizedKernel):
     """Array implementation of Count-Sketch-Reset under uniform gossip.
 
     Parameters
@@ -318,11 +422,9 @@ class VectorizedCountSketchReset:
         self._thresholds = thresholds
 
     def _register_identifiers(self) -> None:
-        for _ in range(self.identifiers_per_host):
-            owned_bins = self.rng.integers(0, self.bins, size=self.n)
-            # Geometric bit selection: P[bit = k] = 2^-(k+1), clamped to L-1.
-            owned_bits = np.minimum(self.rng.geometric(0.5, size=self.n) - 1, self.bits - 1)
-            self.own_mask[np.arange(self.n), owned_bins, owned_bits] = True
+        self.own_mask |= _geometric_identifier_mask(
+            self.rng, self.n, self.bins, self.bits, self.identifiers_per_host
+        )
         self.counters[self.own_mask] = 0
 
     # ------------------------------------------------------------------ steps
@@ -353,31 +455,6 @@ class VectorizedCountSketchReset:
             self.counters[self.own_mask & self.alive[:, None, None]] = 0
         self.round_index += 1
 
-    def step_many(self, rounds: int) -> None:
-        """Execute several rounds."""
-        for _ in range(rounds):
-            self.step()
-
-    # --------------------------------------------------------------- failures
-    def fail(self, host_indices: Sequence[int]) -> None:
-        """Silently remove the given hosts."""
-        indices = np.asarray(list(host_indices), dtype=np.int64)
-        self.alive[indices] = False
-
-    def fail_random_fraction(self, fraction: float) -> np.ndarray:
-        """Fail a uniformly random fraction of the live hosts; returns their indices."""
-        if not 0.0 <= fraction <= 1.0:
-            raise ValueError("fraction must be in [0, 1]")
-        alive_idx = np.nonzero(self.alive)[0]
-        count = int(round(fraction * alive_idx.size))
-        chosen = (
-            self.rng.choice(alive_idx, size=count, replace=False)
-            if count
-            else np.array([], dtype=np.int64)
-        )
-        self.alive[chosen] = False
-        return chosen
-
     # -------------------------------------------------------------- estimates
     def bit_image(self) -> np.ndarray:
         """Derived bit matrix per live host: counter ≤ f(k)."""
@@ -385,12 +462,7 @@ class VectorizedCountSketchReset:
 
     def ranks(self) -> np.ndarray:
         """Per (host, bin) prefix-of-ones length of the derived bit image."""
-        image = self.bit_image()
-        # argmin over a boolean axis returns the first False; all-True rows
-        # return 0 and must be mapped to the full width.
-        first_false = np.argmin(image, axis=2)
-        all_true = image.all(axis=2)
-        return np.where(all_true, self.bits, first_false)
+        return _prefix_rank(self.bit_image(), self.bits)
 
     def estimates(self) -> np.ndarray:
         """Per-live-host estimates of the live population size (or sum)."""
@@ -402,13 +474,6 @@ class VectorizedCountSketchReset:
     def truth(self) -> float:
         """The correct count (number of live hosts)."""
         return float(self.alive.sum())
-
-    def error(self) -> float:
-        """Standard deviation of the live hosts' estimates from the truth."""
-        estimates = self.estimates()
-        if estimates.size == 0:
-            return float("nan")
-        return float(np.sqrt(np.mean((estimates - self.truth()) ** 2)))
 
     # ------------------------------------------------------- Fig 6 diagnostics
     def counter_values_for_bit(self, bit_index: int, *, finite_only: bool = True) -> np.ndarray:
@@ -423,3 +488,196 @@ class VectorizedCountSketchReset:
         if finite_only:
             values = values[values < int(_COUNTER_INFINITY)]
         return values
+
+
+class VectorizedSketchCount(_VectorizedKernel):
+    """Array implementation of static FM Sketch-Count under uniform gossip.
+
+    This is the Considine et al. baseline (:class:`repro.baselines.SketchCount`)
+    as a whole-population array program: every host owns bit positions in an
+    ``m`` × ``L`` boolean sketch, gossip merges by bitwise OR, and — the
+    static counting weakness the paper's Figure 9 demonstrates — the
+    estimate can never decrease, so departed hosts stay counted forever.
+
+    Parameters
+    ----------
+    n:
+        Number of hosts.
+    bins, bits:
+        Sketch dimensions ``m`` × ``L``.
+    identifiers_per_host:
+        Identifiers registered per host (the estimate divides by this).
+    pull:
+        Whether the contacted peer responds with its own sketch.
+    seed:
+        Randomness seed.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        bins: int = 64,
+        bits: int = 20,
+        identifiers_per_host: int = 1,
+        pull: bool = True,
+        seed: int = 0,
+    ):
+        if n < 1:
+            raise ValueError("need at least one host")
+        if bins < 1 or bits < 1:
+            raise ValueError("bins and bits must be >= 1")
+        if identifiers_per_host < 1:
+            raise ValueError("identifiers_per_host must be >= 1")
+        self.n = int(n)
+        self.bins = int(bins)
+        self.bits = int(bits)
+        self.identifiers_per_host = int(identifiers_per_host)
+        self.pull = bool(pull)
+        self.rng = np.random.default_rng(seed)
+        self.alive = np.ones(self.n, dtype=bool)
+        self.round_index = 0
+        self.matrix = _geometric_identifier_mask(
+            self.rng, self.n, self.bins, self.bits, self.identifiers_per_host
+        )
+
+    # ------------------------------------------------------------------ steps
+    def step(self) -> None:
+        """Execute one gossip round over the live hosts."""
+        alive_idx = np.nonzero(self.alive)[0]
+        if alive_idx.size >= 2:
+            targets = alive_idx[self.rng.integers(0, alive_idx.size, size=alive_idx.size)]
+            before = self.matrix.copy() if self.pull else None
+            np.logical_or.at(self.matrix, targets, self.matrix[alive_idx])
+            if self.pull:
+                self.matrix[alive_idx] = np.logical_or(self.matrix[alive_idx], before[targets])
+        self.round_index += 1
+
+    # -------------------------------------------------------------- estimates
+    def ranks(self) -> np.ndarray:
+        """Per (host, bin) prefix-of-ones length of the bit matrix."""
+        return _prefix_rank(self.matrix, self.bits)
+
+    def estimates(self) -> np.ndarray:
+        """Per-live-host estimates of the (ever-seen) population size."""
+        alive_idx = np.nonzero(self.alive)[0]
+        mean_rank = self.ranks()[alive_idx].mean(axis=1)
+        return self.bins / PHI * np.exp2(mean_rank) / self.identifiers_per_host
+
+    def truth(self) -> float:
+        """The correct count (number of live hosts)."""
+        return float(self.alive.sum())
+
+
+class VectorizedExtrema(_ValueKernel):
+    """Array implementation of extrema gossip (static and freshness-reset).
+
+    Covers both agent protocols: with ``cutoff=None`` this is
+    :class:`~repro.baselines.ExtremaGossip` (the best value spreads and is
+    never forgotten); with an integer cutoff it is
+    :class:`~repro.baselines.ExtremaReset` — the best value travels with an
+    age that its originator keeps resetting, and a value whose age exceeds
+    the cutoff is dropped in favour of the host's own value.
+
+    Gossip is a random perfect matching of the live hosts per round (the
+    same push/pull realisation as :class:`VectorizedPushSumRevert`).
+
+    Parameters
+    ----------
+    values:
+        Initial host values.
+    maximum:
+        Track the maximum (default) or the minimum.
+    cutoff:
+        Maximum tolerated age in rounds, or ``None`` for the static protocol.
+    seed:
+        Randomness seed.
+    """
+
+    def __init__(
+        self,
+        values: Sequence[float],
+        *,
+        maximum: bool = True,
+        cutoff: Optional[int] = None,
+        seed: int = 0,
+    ):
+        self.own = np.asarray(list(values), dtype=float)
+        self.n = self.own.size
+        if self.n < 1:
+            raise ValueError("need at least one host")
+        if cutoff is not None and cutoff < 1:
+            raise ValueError("cutoff must be >= 1")
+        self.maximum = bool(maximum)
+        self.cutoff = None if cutoff is None else int(cutoff)
+        self.rng = np.random.default_rng(seed)
+        self.alive = np.ones(self.n, dtype=bool)
+        self.round_index = 0
+        self.best_value = self.own.copy()
+        self.best_id = np.arange(self.n, dtype=np.int64)
+        self.best_age = np.zeros(self.n, dtype=np.int64)
+
+    # ------------------------------------------------------------------ steps
+    def step(self) -> None:
+        """Execute one gossip round over the live hosts."""
+        alive_idx = np.nonzero(self.alive)[0]
+        if alive_idx.size == 0:
+            self.round_index += 1
+            return
+        # Begin-round ageing (mirrors ExtremaReset.begin_round): own values
+        # are always fresh; everything learned from others ages, and with a
+        # cutoff a stale best falls back to the host's own value.
+        is_own = self.best_id[alive_idx] == alive_idx
+        self.best_age[alive_idx] = np.where(is_own, 0, self.best_age[alive_idx] + 1)
+        if self.cutoff is not None:
+            # Re-sync own-held bests to the current own value (a host may
+            # have re-absorbed its own stale advertisement after a value
+            # change; refreshing that would keep the outdated value alive).
+            own_holders = alive_idx[is_own]
+            self.best_value[own_holders] = self.own[own_holders]
+            expired = alive_idx[self.best_age[alive_idx] > self.cutoff]
+            self.best_value[expired] = self.own[expired]
+            self.best_id[expired] = expired
+            self.best_age[expired] = 0
+        # Pairwise exchange over a random perfect matching.
+        if alive_idx.size >= 2:
+            order = self.rng.permutation(alive_idx)
+            pair_count = order.size // 2
+            left = order[:pair_count]
+            right = order[pair_count : 2 * pair_count]
+            left_better = (
+                self.best_value[left] > self.best_value[right]
+                if self.maximum
+                else self.best_value[left] < self.best_value[right]
+            )
+            # Equal values: the fresher (lower-age) copy wins, like _absorb.
+            tie = self.best_value[left] == self.best_value[right]
+            left_better |= tie & (self.best_age[left] < self.best_age[right])
+            winner = np.where(left_better, left, right)
+            for array in (self.best_value, self.best_id, self.best_age):
+                array[left] = array[winner]
+                array[right] = array[winner]
+        self.round_index += 1
+
+    # ---------------------------------------------------------- value changes
+    def _host_values(self) -> np.ndarray:
+        return self.own
+
+    def _set_host_value(self, index: int, value: float) -> None:
+        # A host advertising its own value moves the advertised copy with it
+        # (mirrors ExtremaGossip.rebase); a best learned elsewhere is kept.
+        self.own[index] = value
+        if self.best_id[index] == index:
+            self.best_value[index] = value
+
+    # -------------------------------------------------------------- estimates
+    def estimates(self) -> np.ndarray:
+        """Per-live-host best known values."""
+        return self.best_value[self.alive].copy()
+
+    def truth(self) -> float:
+        """The correct extremum over the currently live hosts."""
+        alive_values = self.own[self.alive]
+        if alive_values.size == 0:
+            return float("nan")
+        return float(alive_values.max() if self.maximum else alive_values.min())

@@ -1,0 +1,372 @@
+"""Equivalence and error-path tests for the execution backends.
+
+Every (protocol, mode, failure, workload) combination the vectorised
+backend claims to support is run on both backends over many seeds at a
+small population; the estimate distributions must agree within tolerance.
+Unsupported combinations must be rejected eagerly — at spec construction —
+with an actionable message.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import BACKENDS, ScenarioSpec, resolve_backend, run_scenario
+from repro.api.backends import VectorizedBackend
+from repro.api.sweep import Sweep, SweepRunner
+
+N_HOSTS = 64
+SEEDS = tuple(range(8))
+
+#: One entry per supported combination: (id, spec kwargs, relative bias
+#: tolerance).  ``scale`` for the bias is the seed-averaged truth.
+SUPPORTED_COMBOS = [
+    (
+        "push-sum-revert/exchange",
+        dict(protocol="push-sum-revert", protocol_params={"reversion": 0.05},
+             n_hosts=N_HOSTS, rounds=30),
+        0.10,
+    ),
+    (
+        "push-sum-revert/push",
+        dict(protocol="push-sum-revert", protocol_params={"reversion": 0.05},
+             mode="push", n_hosts=N_HOSTS, rounds=30),
+        0.10,
+    ),
+    (
+        "push-sum-revert/adaptive-push",
+        dict(protocol="push-sum-revert", protocol_params={"reversion": 0.05, "adaptive": True},
+             mode="push", n_hosts=N_HOSTS, rounds=30),
+        0.10,
+    ),
+    (
+        "full-transfer/push",
+        dict(protocol="push-sum-revert-full-transfer",
+             protocol_params={"reversion": 0.1, "parcels": 4, "history": 3},
+             mode="push", n_hosts=N_HOSTS, rounds=30),
+        0.10,
+    ),
+    (
+        "count-sketch-reset/exchange",
+        dict(protocol="count-sketch-reset",
+             protocol_params={"bins": 32, "bits": 16, "cutoff": "default"},
+             workload="constant", n_hosts=N_HOSTS, rounds=20),
+        0.30,
+    ),
+    (
+        "count-sketch-reset/push",
+        dict(protocol="count-sketch-reset",
+             protocol_params={"bins": 32, "bits": 16, "cutoff": "default"},
+             workload="constant", mode="push", n_hosts=N_HOSTS, rounds=20),
+        0.30,
+    ),
+    (
+        "sketch-count/exchange",
+        dict(protocol="sketch-count", protocol_params={"bins": 32, "bits": 16},
+             workload="constant", n_hosts=N_HOSTS, rounds=20),
+        0.30,
+    ),
+    (
+        "extrema-gossip/exchange",
+        dict(protocol="extrema-gossip", n_hosts=N_HOSTS, rounds=20),
+        0.05,
+    ),
+    (
+        "extrema-reset/exchange",
+        dict(protocol="extrema-reset", protocol_params={"cutoff": 12},
+             n_hosts=N_HOSTS, rounds=20),
+        0.05,
+    ),
+    (
+        "push-sum-revert+uncorrelated-failure",
+        dict(protocol="push-sum-revert", protocol_params={"reversion": 0.1},
+             n_hosts=N_HOSTS, rounds=40,
+             events=({"event": "failure", "round": 20, "model": "uncorrelated",
+                      "fraction": 0.5},)),
+        0.12,
+    ),
+    (
+        "push-sum-revert+correlated-failure",
+        dict(protocol="push-sum-revert", protocol_params={"reversion": 0.3},
+             n_hosts=N_HOSTS, rounds=50,
+             events=({"event": "failure", "round": 20, "model": "correlated",
+                      "fraction": 0.5, "highest": True},)),
+        0.25,
+    ),
+    (
+        "push-sum-revert+explicit-failure",
+        dict(protocol="push-sum-revert", protocol_params={"reversion": 0.1},
+             n_hosts=N_HOSTS, rounds=40,
+             events=({"event": "failure", "round": 10, "model": "explicit",
+                      "host_ids": [0, 1, 2, 3]},)),
+        0.10,
+    ),
+    (
+        "push-sum-revert+value-change",
+        dict(protocol="push-sum-revert", protocol_params={"reversion": 0.3},
+             n_hosts=N_HOSTS, rounds=50,
+             events=({"event": "value-change", "round": 10,
+                      "values": {"0": 500.0, "1": 500.0}},)),
+        0.20,
+    ),
+    # The failure combos keep bins=16: with only 32 survivors, 32 bins would
+    # put the sketch deep into its small-count bias regime (both backends
+    # overestimate identically there, but the truth-tracking check below
+    # would need a vacuously wide tolerance).
+    (
+        "count-sketch-reset+uncorrelated-failure",
+        dict(protocol="count-sketch-reset",
+             protocol_params={"bins": 16, "bits": 16, "cutoff": "default"},
+             workload="constant", n_hosts=N_HOSTS, rounds=40,
+             events=({"event": "failure", "round": 20, "model": "uncorrelated",
+                      "fraction": 0.5},)),
+        0.40,
+    ),
+    (
+        "count-sketch-reset+correlated-failure",
+        dict(protocol="count-sketch-reset",
+             protocol_params={"bins": 16, "bits": 16, "cutoff": "default"},
+             n_hosts=N_HOSTS, rounds=40,
+             events=({"event": "failure", "round": 20, "model": "correlated",
+                      "fraction": 0.5, "highest": True},)),
+        0.40,
+    ),
+    (
+        "extrema-reset+correlated-failure",
+        dict(protocol="extrema-reset", protocol_params={"cutoff": 10},
+             n_hosts=N_HOSTS, rounds=50,
+             events=({"event": "failure", "round": 15, "model": "correlated",
+                      "fraction": 0.5, "highest": True},)),
+        0.15,
+    ),
+]
+
+COMBO_IDS = [combo_id for combo_id, _kwargs, _tol in SUPPORTED_COMBOS]
+
+
+def _seed_summary(spec_kwargs, backend):
+    """(mean final estimate, mean final error, mean truth) across SEEDS."""
+    estimates, errors, truths = [], [], []
+    for seed in SEEDS:
+        spec = ScenarioSpec(seed=seed, backend=backend, **spec_kwargs)
+        result = run_scenario(spec)
+        assert result.metadata["backend"] == backend
+        estimates.append(result.mean_estimate())
+        errors.append(result.final_error())
+        truths.append(result.final_truth())
+    return float(np.mean(estimates)), float(np.mean(errors)), float(np.mean(truths))
+
+
+class TestBackendEquivalence:
+    """Agent and vectorised backends agree in distribution on every combo."""
+
+    @pytest.mark.parametrize(
+        "spec_kwargs, rel_tol",
+        [(kwargs, tol) for _combo_id, kwargs, tol in SUPPORTED_COMBOS],
+        ids=COMBO_IDS,
+    )
+    def test_estimate_distributions_agree(self, spec_kwargs, rel_tol):
+        agent_mean, agent_error, agent_truth = _seed_summary(spec_kwargs, "agent")
+        vector_mean, vector_error, vector_truth = _seed_summary(spec_kwargs, "vectorized")
+        scale = max(abs(agent_truth), abs(vector_truth), 1.0)
+        # The two engines see the same truth (uncorrelated failures remove
+        # different random subsets, so allow the sampling wiggle there).
+        assert vector_truth == pytest.approx(agent_truth, rel=0.25, abs=0.25 * scale)
+        # Both estimate their truth within the combo's tolerance...
+        assert abs(agent_mean - agent_truth) <= rel_tol * scale
+        assert abs(vector_mean - vector_truth) <= rel_tol * scale
+        # ...and the seed-averaged estimates agree with each other.
+        assert abs(vector_mean - agent_mean) <= 2.0 * rel_tol * scale
+        # Error magnitudes are comparable: neither engine may be wildly
+        # noisier than the other on a supported combo.
+        assert max(agent_error, vector_error) <= 6.0 * min(agent_error, vector_error) + 0.05 * scale
+
+    def test_extrema_value_change_parity(self):
+        """Dropping the current maximum holder's value must propagate on both
+        backends: the stale maximum ages out and the network re-converges to
+        the runner-up (the 'most popular song changed' scenario).  The
+        cutoff must exceed the rumour-spreading time (~log2 n) or live
+        values churn in and out; 12 >> log2(48)."""
+        for seed in (0, 1, 2):
+            base = ScenarioSpec(protocol="extrema-reset", protocol_params={"cutoff": 12},
+                                n_hosts=48, rounds=55, seed=seed)
+            top = int(np.argmax(base.build_values()))
+            spec = base.replace(
+                events=({"event": "value-change", "round": 8, "values": {str(top): 0.0}},)
+            )
+            agent = run_scenario(spec.replace(backend="agent"))
+            vector = run_scenario(spec.replace(backend="vectorized"))
+            # Truth drops to the runner-up identically on both backends...
+            assert vector.final_truth() == pytest.approx(agent.final_truth())
+            assert agent.final_truth() < base.replace(rounds=1).run().final_truth()
+            # ...and both engines re-converge to it (the stale maximum ages
+            # out instead of being refreshed by its originator forever).
+            assert agent.plateau_error(10) <= 0.02 * agent.final_truth()
+            assert vector.plateau_error(10) <= 0.02 * vector.final_truth()
+
+    def test_vectorized_deterministic(self):
+        kwargs = SUPPORTED_COMBOS[0][1]
+        first = run_scenario(ScenarioSpec(seed=5, backend="vectorized", **kwargs))
+        second = run_scenario(ScenarioSpec(seed=5, backend="vectorized", **kwargs))
+        assert first.errors() == second.errors()
+        assert first.truths() == second.truths()
+
+    def test_sketch_count_defaults_agree_across_backends(self):
+        # One spec must mean one sketch geometry on either backend.
+        spec = ScenarioSpec(protocol="sketch-count", workload="constant",
+                            n_hosts=16, rounds=2)
+        protocol = spec.build_protocol()
+        kernel = BACKENDS.get("vectorized").build_kernel(spec)
+        assert (kernel.bins, kernel.bits) == (protocol.bins, protocol.bits)
+
+    def test_null_cutoff_means_no_decay_on_both_backends(self):
+        # JSON "cutoff": null is the named "off" cutoff; it must run (not
+        # crash mid-run) and disable decay on both engines.
+        spec = ScenarioSpec(protocol="count-sketch-reset",
+                            protocol_params={"bins": 8, "bits": 12, "cutoff": None},
+                            workload="constant", n_hosts=32, rounds=8)
+        for backend in ("agent", "vectorized"):
+            result = run_scenario(spec.replace(backend=backend))
+            assert result.final_truth() == 32.0
+
+    def test_store_estimates_supported(self):
+        spec = ScenarioSpec(
+            protocol="push-sum-revert", n_hosts=32, rounds=5,
+            backend="vectorized", store_estimates=True,
+        )
+        result = run_scenario(spec)
+        final = result.final_record().estimates
+        assert final is not None and len(final) == 32
+        assert all(isinstance(key, int) for key in final)
+
+
+class TestAutoDispatch:
+    def test_uniform_scenarios_go_vectorized(self):
+        spec = ScenarioSpec(protocol="push-sum-revert", n_hosts=64, rounds=5)
+        assert spec.backend == "auto"
+        assert resolve_backend(spec) == "vectorized"
+        assert spec.resolved_backend() == "vectorized"
+        assert run_scenario(spec).metadata["backend"] == "vectorized"
+
+    def test_unsupported_scenarios_fall_back_to_agent(self):
+        ring = ScenarioSpec(protocol="push-sum-revert", environment="ring",
+                            n_hosts=64, rounds=5)
+        assert resolve_backend(ring) == "agent"
+        assert run_scenario(ring).metadata["backend"] == "agent"
+        joins = ScenarioSpec(protocol="push-sum-revert", n_hosts=64, rounds=5,
+                             events=({"event": "join", "round": 2, "count": 4},))
+        assert resolve_backend(joins) == "agent"
+
+    def test_explicit_agent_is_respected(self):
+        spec = ScenarioSpec(protocol="push-sum-revert", n_hosts=64, rounds=5,
+                            backend="agent")
+        assert resolve_backend(spec) == "agent"
+        assert run_scenario(spec).metadata["backend"] == "agent"
+
+    def test_backend_round_trips_through_json(self):
+        spec = ScenarioSpec(protocol="push-sum-revert", n_hosts=64, rounds=5,
+                            backend="vectorized")
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.backend == "vectorized"
+
+    def test_backend_is_a_sweep_axis(self):
+        base = ScenarioSpec(protocol="push-sum-revert", n_hosts=48, rounds=6, seed=1)
+        sweep = Sweep.over(base, backend=["agent", "vectorized"])
+        result = SweepRunner(parallel=False).run(sweep)
+        assert len(result.rows) == 2
+        assert [r.metadata["backend"] for r in result.results] == ["agent", "vectorized"]
+
+
+class TestEagerBackendValidation:
+    """Bad backend requests fail at spec construction with the reason."""
+
+    def base_kwargs(self, **overrides):
+        kwargs = dict(protocol="push-sum-revert", n_hosts=32, rounds=4,
+                      backend="vectorized")
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_unknown_backend_lists_the_known_ones(self):
+        with pytest.raises(ValueError, match="unknown backend 'gpu'.*agent.*auto.*vectorized"):
+            ScenarioSpec(protocol="push-sum-revert", backend="gpu")
+
+    def test_non_uniform_environment_rejected(self):
+        with pytest.raises(ValueError, match="environment 'ring' is not vectorised"):
+            ScenarioSpec(**self.base_kwargs(environment="ring"))
+
+    def test_trace_environment_rejected(self):
+        with pytest.raises(ValueError, match="not vectorised"):
+            ScenarioSpec(**self.base_kwargs(environment="trace", n_hosts=9))
+
+    def test_group_relative_rejected(self):
+        with pytest.raises(ValueError, match="group-relative"):
+            ScenarioSpec(**self.base_kwargs(group_relative=True))
+
+    def test_protocol_without_kernel_rejected(self):
+        with pytest.raises(ValueError, match="no vectorised kernel"):
+            ScenarioSpec(**self.base_kwargs(protocol="invert-average"))
+
+    def test_unsupported_mode_rejected(self):
+        with pytest.raises(ValueError, match="only vectorised in mode"):
+            ScenarioSpec(**self.base_kwargs(protocol="extrema-gossip", mode="push"))
+
+    def test_unknown_kernel_parameter_rejected(self):
+        with pytest.raises(ValueError, match="weight_epsilon"):
+            ScenarioSpec(**self.base_kwargs(protocol_params={"weight_epsilon": 1e-9}))
+
+    def test_unvectorised_failure_model_rejected(self):
+        with pytest.raises(ValueError, match="failure model 'bernoulli' is not vectorised"):
+            ScenarioSpec(**self.base_kwargs(
+                events=({"event": "failure", "round": 2, "model": "bernoulli", "p": 0.1},)
+            ))
+
+    def test_join_events_rejected(self):
+        with pytest.raises(ValueError, match="'join' events require the agent engine"):
+            ScenarioSpec(**self.base_kwargs(
+                events=({"event": "join", "round": 2, "count": 4},)
+            ))
+
+    def test_churn_events_rejected(self):
+        with pytest.raises(ValueError, match="require the agent engine"):
+            ScenarioSpec(**self.base_kwargs(
+                events=({"event": "churn", "start": 1, "stop": 3,
+                         "model": "uncorrelated", "fraction": 0.01},)
+            ))
+
+    @pytest.mark.parametrize("bad_cutoff", ["default", [7.0, 0.25], 2.5, True])
+    def test_extrema_reset_rejects_function_cutoffs(self, bad_cutoff):
+        # extrema-reset's cutoff is an integer age, not a named freshness
+        # function; both backends must reject it eagerly, not mid-run.
+        for backend in ("agent", "vectorized", "auto"):
+            with pytest.raises(ValueError, match="positive integer 'cutoff'"):
+                ScenarioSpec(protocol="extrema-reset",
+                             protocol_params={"cutoff": bad_cutoff},
+                             n_hosts=16, rounds=3, backend=backend)
+
+    def test_extrema_reset_integer_cutoff_still_runs(self):
+        spec = ScenarioSpec(protocol="extrema-reset", protocol_params={"cutoff": 7},
+                            n_hosts=16, rounds=3, backend="vectorized")
+        assert run_scenario(spec).final_error() >= 0.0
+
+    def test_value_change_rejected_for_counting_kernels(self):
+        with pytest.raises(ValueError, match="value-change"):
+            ScenarioSpec(**self.base_kwargs(
+                protocol="count-sketch-reset",
+                protocol_params={"bins": 8, "bits": 12},
+                events=({"event": "value-change", "round": 2, "values": {"0": 2.0}},)
+            ))
+
+    def test_auto_never_raises_for_valid_scenarios(self):
+        spec = ScenarioSpec(protocol="push-sum-revert", environment="ring",
+                            n_hosts=32, rounds=4, backend="auto")
+        assert spec.resolved_backend() == "agent"
+
+    def test_mid_run_error_message_matches_supports(self):
+        backend = BACKENDS.get("vectorized")
+        assert isinstance(backend, VectorizedBackend)
+        spec = ScenarioSpec(protocol="push-sum-revert", environment="grid",
+                            n_hosts=36, rounds=4)
+        reason = backend.supports(spec)
+        assert reason is not None and "grid" in reason
+        with pytest.raises(ValueError, match="grid"):
+            backend.run(spec)

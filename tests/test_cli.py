@@ -211,3 +211,72 @@ class TestCliErrorPaths:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "unknown axis" in captured.err
+
+
+class TestBackendFlag:
+    def test_backend_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "push-sum-revert",
+                                       "--backend", "gpu"])
+
+    @pytest.mark.parametrize("backend", ["agent", "vectorized", "auto"])
+    def test_run_with_explicit_backend(self, backend, capsys):
+        exit_code = main(
+            ["run", "--protocol", "push-sum-revert", "--hosts", "60",
+             "--rounds", "6", "--backend", backend, "-P", "reversion=0.1"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        resolved = "vectorized" if backend == "auto" else backend
+        assert f"backend={resolved}" in captured.out
+
+    def test_vectorized_backend_rejects_unsupported_scenario(self, capsys):
+        exit_code = main(
+            ["run", "--protocol", "push-sum-revert", "--environment", "ring",
+             "--hosts", "60", "--rounds", "6", "--backend", "vectorized"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "not vectorised" in captured.err
+
+    def test_experiments_backend_flag_parses(self):
+        args = build_parser().parse_args(["experiments", "--backend", "agent"])
+        assert args.backend == "agent"
+
+
+class TestBenchCommand:
+    def test_bench_smoke_writes_payload(self, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "BENCH_core.json"
+        exit_code = main(
+            ["bench", "--sizes", "48", "96", "--rounds", "3", "--repeats", "1",
+             "--output", str(output)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "speedup" in captured.out
+        payload = json.loads(output.read_text())
+        assert payload["benchmark"] == "core-backends"
+        backends = {record["backend"] for record in payload["records"]}
+        assert backends == {"agent", "vectorized"}
+        assert payload["speedups"]["push-sum-revert"]["48"] > 0
+        # Every record carries throughput fields for the perf trajectory.
+        for record in payload["records"]:
+            assert record["ms_per_round"] > 0
+            assert record["host_rounds_per_second"] > 0
+
+    def test_bench_rejects_bad_sizes(self, capsys):
+        exit_code = main(["bench", "--sizes", "1", "--repeats", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+    def test_bench_unwritable_output_reports_cleanly(self, capsys):
+        exit_code = main(["bench", "--sizes", "32", "--rounds", "2", "--repeats", "1",
+                          "--output", "/nonexistent-dir/BENCH.json"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error: cannot write" in captured.err
+        # The timings themselves were still printed before the failure.
+        assert "speedup" in captured.out

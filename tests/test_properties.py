@@ -9,7 +9,12 @@ from repro.analysis.cdf import cdf_at, empirical_cdf
 from repro.baselines.push_sum import PushSum
 from repro.core.push_sum_revert import PushSumRevert
 from repro.mobility.traces import ContactRecord, ContactTrace
-from repro.simulator.vectorized import VectorizedPushSumRevert
+from repro.simulator.vectorized import (
+    _COUNTER_INFINITY,
+    VectorizedCountSketchReset,
+    VectorizedPushSumRevert,
+    VectorizedSketchCount,
+)
 from repro.sketches.counter_matrix import CounterMatrix, INFINITY
 from repro.sketches.fm_sketch import FMSketch, rank_of_bits
 from repro.sketches.hashing import bin_index, rho
@@ -106,6 +111,18 @@ class TestSketchProperties:
         assert sketch.union(sketch) == sketch
 
     @COMMON_SETTINGS
+    @given(a=identifiers, b=identifiers, c=identifiers)
+    def test_union_associative(self, a, b, c):
+        def build(identifiers_list):
+            sketch = FMSketch(bins=8, bits=20)
+            sketch.insert_many(identifiers_list)
+            return sketch
+
+        left = build(a).union(build(b)).union(build(c))
+        right = build(a).union(build(b).union(build(c)))
+        assert left == right
+
+    @COMMON_SETTINGS
     @given(a=identifiers, b=identifiers)
     def test_union_estimate_at_least_each_side(self, a, b):
         left = FMSketch(bins=8, bits=20)
@@ -184,6 +201,39 @@ class TestCounterMatrixProperties:
         clone = matrix.copy()
         matrix.merge_min(clone)
         assert matrix == clone
+
+    @COMMON_SETTINGS
+    @given(
+        owned=owned_strategy,
+        others=st.lists(
+            st.tuples(
+                st.lists(st.tuples(st.integers(0, 3), st.integers(0, 7)), max_size=4),
+                st.integers(0, 5),
+            ),
+            min_size=2,
+            max_size=4,
+        ),
+        order_seed=st.integers(0, 1000),
+    )
+    def test_merges_are_order_insensitive(self, owned, others, order_seed):
+        """Min-merging a set of peer matrices gives the same counters in any order."""
+
+        def build_peer(peer_owned, rounds):
+            peer = CounterMatrix(4, 8, peer_owned)
+            for _ in range(rounds):
+                peer.increment()
+            return peer
+
+        peers = [build_peer(peer_owned, rounds) for peer_owned, rounds in others]
+        forward = CounterMatrix(4, 8, owned)
+        forward.increment()
+        shuffled = forward.copy()
+        for peer in peers:
+            forward.merge_min(peer)
+        permutation = np.random.default_rng(order_seed).permutation(len(peers))
+        for index in permutation:
+            shuffled.merge_min(peers[int(index)])
+        assert forward == shuffled
 
 
 class TestTraceProperties:
@@ -264,3 +314,68 @@ class TestCDFProperties:
     def test_cdf_at_matches_manual_count(self, values, point):
         expected = sum(1 for v in values if v <= point) / len(values)
         assert cdf_at(values, [point])[0] == pytest.approx(expected)
+
+
+class TestVectorizedKernelBounds:
+    """The array kernels honour their sentinel and state invariants."""
+
+    @COMMON_SETTINGS
+    @given(
+        n=st.integers(min_value=2, max_value=50),
+        bins=st.integers(min_value=1, max_value=8),
+        bits=st.integers(min_value=1, max_value=12),
+        rounds=st.integers(min_value=0, max_value=15),
+        fail_fraction=st.floats(min_value=0.0, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_counter_kernel_stays_inside_int16_sentinel(
+        self, n, bins, bits, rounds, fail_fraction, seed
+    ):
+        kernel = VectorizedCountSketchReset(n, bins=bins, bits=bits, seed=seed)
+        kernel.step_many(rounds)
+        kernel.fail_random_fraction(fail_fraction)
+        kernel.step_many(rounds)
+        assert kernel.counters.dtype == np.int16
+        assert kernel.counters.min() >= 0
+        assert kernel.counters.max() <= _COUNTER_INFINITY
+        # Finite counters are bounded by the elapsed rounds: nothing can be
+        # staler than the simulation is old.
+        finite = kernel.counters[kernel.counters < _COUNTER_INFINITY]
+        if finite.size:
+            assert finite.max() <= 2 * rounds
+
+    @COMMON_SETTINGS
+    @given(
+        n=st.integers(min_value=2, max_value=50),
+        rounds=st.integers(min_value=1, max_value=10),
+        fail_fraction=st.floats(min_value=0.0, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_sketch_count_estimates_never_decrease(self, n, rounds, fail_fraction, seed):
+        """OR-merge gossip is monotone: every host's sketch can only grow —
+        including through failures, which is exactly its dynamic weakness.
+        (The *population mean* may still drop when a failure removes a host
+        whose estimate was above average, so the invariant is per host.)"""
+        kernel = VectorizedSketchCount(n, bins=8, bits=16, seed=seed)
+        previous_ranks = kernel.ranks()
+        for _ in range(rounds):
+            kernel.step()
+            current_ranks = kernel.ranks()
+            assert (current_ranks >= previous_ranks).all()
+            previous_ranks = current_ranks
+        kernel.fail_random_fraction(fail_fraction)
+        kernel.step_many(2)
+        assert (kernel.ranks() >= previous_ranks).all()
+
+    @COMMON_SETTINGS
+    @given(
+        values=values_strategy,
+        reversion=st.floats(min_value=0.0, max_value=1.0),
+        rounds=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_push_sum_weights_stay_positive(self, values, reversion, rounds, seed):
+        kernel = VectorizedPushSumRevert(values, reversion, mode="pushpull", seed=seed)
+        kernel.step_many(rounds)
+        assert (kernel.weight[kernel.alive] > 0.0).all()
+        assert np.isfinite(kernel.estimates()).all()
