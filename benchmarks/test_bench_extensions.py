@@ -1,12 +1,14 @@
-"""Benchmarks for the extension experiments (DESIGN.md §6)."""
+"""Benchmarks for the extension experiments (DESIGN.md §6 and §8)."""
 
 import pytest
 
 from repro.experiments.extensions import (
     render_departure_comparison,
     render_extrema_comparison,
+    render_loss_sweep,
     run_departure_comparison,
     run_extrema_comparison,
+    run_loss_sweep,
 )
 
 
@@ -46,3 +48,28 @@ def test_extension_extrema_freshness(benchmark, save_rendering):
     # freshness-limited variant re-converges to the surviving maximum.
     assert result.static_final() > 0.0
     assert result.reset_final() < result.static_final()
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_extension_loss_rate_sweep(benchmark, save_rendering):
+    result = benchmark.pedantic(
+        run_loss_sweep,
+        kwargs={"n_hosts": 400, "rounds": 50, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    rendering = render_loss_sweep(result)
+    save_rendering("extension_loss_sweep", rendering)
+    print("\n" + rendering)
+    psr = result.relative_plateau["push-sum-revert"]
+    sketch = result.relative_plateau["count-sketch-reset"]
+    # Loss hurts both protocols monotonically (small sampling wiggles aside).
+    assert psr[0.5] > psr[0.0]
+    assert sketch[0.5] > sketch[0.0]
+    # The crossing the paper never measured: Count-Sketch-Reset is the more
+    # accurate protocol on a mildly lossy network (identifiers re-announce
+    # every round), but once loss slows propagation past its freshness
+    # cutoff the estimate collapses, while Push-Sum-Revert's reversion keeps
+    # re-minting lost mass and degrades gracefully.
+    assert sketch[0.0] < psr[0.0]
+    assert sketch[0.5] > psr[0.5]

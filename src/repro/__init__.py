@@ -26,7 +26,13 @@ In-Network Aggregation* (Kennedy, Koch, Demers; ICDE 2009).  It provides:
   kernels; the default ``backend="auto"`` picks the kernels whenever the
   scenario's combination is supported (orders of magnitude faster at the
   paper's populations — ``repro-aggregate bench`` measures it and writes
-  ``BENCH_core.json``).
+  ``BENCH_core.json``);
+* lossy and latent network models (``repro.network``) — the paper assumes
+  instant, reliable delivery; ``ScenarioSpec(network=..., network_params=...)``
+  lifts that: ``bernoulli-loss``, ``latency`` (fixed/uniform/lognormal
+  delays through an in-flight delivery queue), ``bandwidth-cap`` and
+  composable ``stacked`` models, with per-round mass-conservation
+  assertions for the Push-Sum family (DESIGN.md §8).
 
 Quickstart
 ----------
@@ -79,6 +85,7 @@ committed trajectory lives in ``BENCH_core.json``.
 from repro.api import (
     ENVIRONMENTS,
     FAILURES,
+    NETWORKS,
     PROTOCOLS,
     WORKLOADS,
     ScenarioSpec,
@@ -87,6 +94,7 @@ from repro.api import (
     SweepRunner,
     register_environment,
     register_failure,
+    register_network,
     register_protocol,
     register_workload,
     run_scenario,
@@ -119,9 +127,19 @@ from repro.failures import (
     JoinEvent,
     UncorrelatedFailure,
 )
+from repro.network import (
+    BandwidthCapNetwork,
+    BernoulliLossNetwork,
+    LatencyNetwork,
+    NetworkModel,
+    PerfectNetwork,
+    StackedNetwork,
+)
 from repro.simulator import Simulation, SimulationResult
 
 __all__ = [
+    "BandwidthCapNetwork",
+    "BernoulliLossNetwork",
     "CountSketchReset",
     "CorrelatedFailure",
     "ENVIRONMENTS",
@@ -133,12 +151,17 @@ __all__ = [
     "IntervalDensity",
     "InvertAverage",
     "JoinEvent",
+    "LatencyNetwork",
+    "NETWORKS",
     "NeighborhoodEnvironment",
+    "NetworkModel",
     "PROTOCOLS",
+    "PerfectNetwork",
     "PushPull",
     "PushSum",
     "PushSumRevert",
     "ScenarioSpec",
+    "StackedNetwork",
     "SketchCount",
     "Simulation",
     "SimulationResult",
@@ -154,6 +177,7 @@ __all__ = [
     "default_cutoff",
     "register_environment",
     "register_failure",
+    "register_network",
     "register_protocol",
     "register_workload",
     "run_scenario",

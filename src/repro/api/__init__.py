@@ -3,8 +3,9 @@
 Everything the simulator can run is describable as plain data:
 
 * :mod:`repro.api.registry` — string-keyed registries of protocols,
-  environments, failure models and workloads, with decorators
-  (:func:`register_protocol` et al.) for adding new components;
+  environments, failure models, workloads and network models, with
+  decorators (:func:`register_protocol` et al.) for adding new
+  components;
 * :mod:`repro.api.spec` — :class:`ScenarioSpec`, a frozen, eagerly
   validated, JSON-round-trippable description of one run, executed with
   :func:`run_scenario`;
@@ -31,12 +32,14 @@ from repro.api.backends import (
 from repro.api.registry import (
     ENVIRONMENTS,
     FAILURES,
+    NETWORKS,
     PROTOCOLS,
     WORKLOADS,
     Registry,
     UnknownKeyError,
     register_environment,
     register_failure,
+    register_network,
     register_protocol,
     register_workload,
 )
@@ -50,6 +53,7 @@ __all__ = [
     "ExecutionBackend",
     "FAILURES",
     "NAMED_CUTOFFS",
+    "NETWORKS",
     "PROTOCOLS",
     "Registry",
     "VectorizedBackend",
@@ -62,6 +66,7 @@ __all__ = [
     "WORKLOADS",
     "register_environment",
     "register_failure",
+    "register_network",
     "register_protocol",
     "register_workload",
     "run_scenario",

@@ -58,6 +58,10 @@ AUTO = "auto"
 #: Failure models the vectorised event loop can apply.
 _VECTOR_FAILURE_MODELS = ("uncorrelated", "correlated", "explicit")
 
+#: Protocols whose kernels take a Bernoulli ``loss`` probability, so the
+#: common lossy case still resolves to the fast path under ``"auto"``.
+_LOSSY_KERNEL_PROTOCOLS = frozenset({"push-sum-revert", "push-sum-revert-full-transfer"})
+
 #: Per-protocol kernel capabilities: accepted constructor parameters, the
 #: engine modes the kernel can realise, and whether the kernel carries
 #: per-host values (needed by correlated failures and value changes).
@@ -146,6 +150,19 @@ class VectorizedBackend(ExecutionBackend):
             )
         if spec.group_relative:
             return "group-relative error accounting requires the agent engine"
+        if spec.network != "perfect":
+            if spec.network != "bernoulli-loss":
+                return (
+                    f"network model {spec.network!r} is not vectorised "
+                    "(kernels support 'perfect' and 'bernoulli-loss' only)"
+                )
+            if spec.protocol not in _LOSSY_KERNEL_PROTOCOLS:
+                lossy = ", ".join(sorted(_LOSSY_KERNEL_PROTOCOLS))
+                return (
+                    f"Bernoulli message loss is only vectorised for {lossy}; "
+                    f"protocol {spec.protocol!r} under a lossy network requires "
+                    "the agent engine"
+                )
         entry = _KERNEL_TABLE.get(spec.protocol)
         if entry is None:
             supported = ", ".join(sorted(_KERNEL_TABLE))
@@ -190,12 +207,14 @@ class VectorizedBackend(ExecutionBackend):
         if reason is not None:
             raise ValueError(f"backend 'vectorized' cannot run this scenario: {reason}")
         params = spec._resolved_protocol_params()
+        loss = _network_loss(spec)
         if spec.protocol == "push-sum-revert":
             return VectorizedPushSumRevert(
                 spec.build_values(),
                 float(params.get("reversion", 0.01)),
                 mode="pushpull" if spec.mode == "exchange" else "push",
                 adaptive=bool(params.get("adaptive", False)),
+                loss=loss,
                 seed=spec.seed,
             )
         if spec.protocol == "push-sum-revert-full-transfer":
@@ -205,6 +224,7 @@ class VectorizedBackend(ExecutionBackend):
                 mode="full-transfer",
                 parcels=int(params.get("parcels", 4)),
                 history=int(params.get("history", 3)),
+                loss=loss,
                 seed=spec.seed,
             )
         if spec.protocol == "count-sketch-reset":
@@ -267,11 +287,25 @@ class VectorizedBackend(ExecutionBackend):
                 "kernel": type(kernel).__name__,
             },
         )
+        if spec.network != "perfect":
+            result.metadata["network"] = {"name": spec.network, **dict(spec.network_params)}
+        track_delivery = spec.network != "perfect"
+        prev_delivered = prev_lost = 0
         for t in range(spec.rounds):
             for entry in events_by_round.get(t, ()):
                 self._apply_event(kernel, entry, values_array)
             kernel.step()
-            result.append(self._record_round(kernel, spec, t))
+            record = self._record_round(kernel, spec, t)
+            if track_delivery:
+                # Lossy kernels are required to expose the counters; an
+                # AttributeError here means a new _LOSSY_KERNEL_PROTOCOLS
+                # entry shipped without them.
+                delivered = int(kernel.messages_delivered)
+                lost = int(kernel.messages_lost)
+                record.messages_delivered = delivered - prev_delivered
+                record.messages_lost = lost - prev_lost
+                prev_delivered, prev_lost = delivered, lost
+            result.append(record)
         return result
 
     def _apply_event(self, kernel, entry: dict, values_array: Optional[np.ndarray]) -> None:
@@ -346,6 +380,13 @@ class VectorizedBackend(ExecutionBackend):
             estimates=stored,
             group_sizes=None,
         )
+
+
+def _network_loss(spec: "ScenarioSpec") -> float:
+    """The Bernoulli loss probability a lossy kernel should apply."""
+    if spec.network == "bernoulli-loss":
+        return float(spec.network_params["p"])
+    return 0.0
 
 
 def _aggregate_kind(spec: "ScenarioSpec") -> str:

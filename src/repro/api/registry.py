@@ -16,6 +16,9 @@ resolve those names:
   ``"correlated"``, ``"explicit"``, ``"bernoulli"``).
 * :data:`WORKLOADS` — value generators; factories take the population
   size plus a ``seed`` keyword and return one value per host.
+* :data:`NETWORKS` — network models deciding message fate
+  (``"perfect"``, ``"bernoulli-loss"``, ``"latency"``,
+  ``"bandwidth-cap"``, ``"stacked"``; see :mod:`repro.network`).
 
 New components self-register with the matching decorator::
 
@@ -44,10 +47,12 @@ __all__ = [
     "ENVIRONMENTS",
     "FAILURES",
     "WORKLOADS",
+    "NETWORKS",
     "register_protocol",
     "register_environment",
     "register_failure",
     "register_workload",
+    "register_network",
 ]
 
 
@@ -147,11 +152,13 @@ PROTOCOLS = Registry("protocol")
 ENVIRONMENTS = Registry("environment")
 FAILURES = Registry("failure")
 WORKLOADS = Registry("workload")
+NETWORKS = Registry("network")
 
 register_protocol = PROTOCOLS.register
 register_environment = ENVIRONMENTS.register
 register_failure = FAILURES.register
 register_workload = WORKLOADS.register
+register_network = NETWORKS.register
 
 
 # --------------------------------------------------------------------------
@@ -188,6 +195,13 @@ def _register_builtins() -> None:
         UncorrelatedFailure,
     )
     from repro.mobility import generate_haggle_like_trace, haggle_dataset
+    from repro.network import (
+        BandwidthCapNetwork,
+        BernoulliLossNetwork,
+        LatencyNetwork,
+        PerfectNetwork,
+        StackedNetwork,
+    )
     from repro.topology import grid_graph, random_geometric_graph, ring_lattice
     from repro.workloads import (
         clustered_values,
@@ -269,6 +283,34 @@ def _register_builtins() -> None:
     FAILURES.register("correlated", CorrelatedFailure)
     FAILURES.register("explicit", ExplicitFailure)
     FAILURES.register("bernoulli", BernoulliChurn)
+
+    # -------------------------------------------------------------- networks
+    NETWORKS.register("perfect", PerfectNetwork)
+    NETWORKS.register("bernoulli-loss", BernoulliLossNetwork)
+    NETWORKS.register("latency", LatencyNetwork)
+    NETWORKS.register("bandwidth-cap", BandwidthCapNetwork)
+
+    @register_network("stacked")
+    def _stacked(*, layers):
+        """Compose registered models: ``layers`` is a list of dicts, each
+        naming a registered ``model`` plus its parameters."""
+        if not isinstance(layers, (list, tuple)) or not layers:
+            raise ValueError(
+                "stacked networks need a non-empty 'layers' list of "
+                '{"model": <registered name>, ...} dicts'
+            )
+        built = []
+        for entry in layers:
+            if not isinstance(entry, dict) or not isinstance(entry.get("model"), str):
+                raise ValueError(
+                    f"each stacked layer must be a dict naming a registered 'model', "
+                    f"got {entry!r}"
+                )
+            if entry["model"] == "stacked":
+                raise ValueError("stacked networks cannot nest further stacked layers")
+            params = {key: value for key, value in entry.items() if key != "model"}
+            built.append(NETWORKS.create(entry["model"], **params))
+        return StackedNetwork(built)
 
     # ------------------------------------------------------------- workloads
     @register_workload("uniform")

@@ -38,7 +38,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from repro.api.registry import ENVIRONMENTS, FAILURES, PROTOCOLS, WORKLOADS
+from repro.api.registry import ENVIRONMENTS, FAILURES, NETWORKS, PROTOCOLS, WORKLOADS
 from repro.core.cutoff import default_cutoff, linear_cutoff, no_decay_cutoff, scaled_cutoff
 from repro.failures import ChurnProcess, FailureEvent, JoinEvent, ValueChangeEvent
 from repro.simulator import Simulation, SimulationResult
@@ -165,6 +165,15 @@ class ScenarioSpec:
         Registry name and parameters of the value generator.  When
         ``workload_params`` carries no ``seed``, the workload is drawn
         with the scenario :attr:`seed` so one integer pins the whole run.
+    network / network_params:
+        Registry name and parameters of the network model
+        (:mod:`repro.network`) deciding the fate of every message:
+        ``"perfect"`` (the default — instant, reliable delivery,
+        bit-identical to pre-network results), ``"bernoulli-loss"``,
+        ``"latency"``, ``"bandwidth-cap"`` or ``"stacked"``.  Validation
+        is eager: bad parameters fail here, and a latency-capable model
+        combined with ``mode="exchange"`` is rejected at construction
+        (atomic push/pull exchanges cannot be deferred).
     events:
         Scheduled membership events as plain dicts, e.g.
         ``{"event": "failure", "round": 20, "model": "uncorrelated",
@@ -194,6 +203,8 @@ class ScenarioSpec:
     protocol_params: Dict[str, Any] = field(default_factory=dict)
     environment_params: Dict[str, Any] = field(default_factory=dict)
     workload_params: Dict[str, Any] = field(default_factory=dict)
+    network: str = "perfect"
+    network_params: Dict[str, Any] = field(default_factory=dict)
     events: Tuple[Dict[str, Any], ...] = ()
     group_relative: bool = False
     store_estimates: bool = False
@@ -205,6 +216,7 @@ class ScenarioSpec:
         object.__setattr__(self, "protocol_params", _frozen_copy(self.protocol_params))
         object.__setattr__(self, "environment_params", _frozen_copy(self.environment_params))
         object.__setattr__(self, "workload_params", _frozen_copy(self.workload_params))
+        object.__setattr__(self, "network_params", _frozen_copy(self.network_params))
         object.__setattr__(
             self, "events", tuple(_validate_event(entry) for entry in self.events)
         )
@@ -219,6 +231,19 @@ class ScenarioSpec:
         PROTOCOLS.validate_params(self.protocol, **self.protocol_params)
         ENVIRONMENTS.validate_params(self.environment, self.n_hosts, **self.environment_params)
         WORKLOADS.validate_params(self.workload, self.n_hosts, **self._workload_call_params())
+        NETWORKS.validate_params(self.network, **self.network_params)
+        # Instantiating the model runs its constructor validation (loss
+        # probabilities, delay bounds, stacked layer resolution) eagerly and
+        # tells us whether it can defer delivery — which exchange mode cannot
+        # honour, since an atomic push/pull has no "later".
+        network_model = NETWORKS.create(self.network, **self.network_params)
+        if self.mode == "exchange" and network_model.has_latency:
+            raise ValueError(
+                f"network {self.network!r} can delay message delivery, but "
+                "mode='exchange' performs atomic push/pull exchanges that cannot be "
+                "deferred; use mode='push', or a loss-only network model "
+                "(e.g. 'bernoulli-loss')"
+            )
         cutoff = self.protocol_params.get("cutoff")
         if self.protocol in _INTEGER_CUTOFF_PROTOCOLS:
             if cutoff is not None and (isinstance(cutoff, bool) or not isinstance(cutoff, int)):
@@ -289,6 +314,15 @@ class ScenarioSpec:
         """The initial host values for this scenario."""
         return WORKLOADS.create(self.workload, self.n_hosts, **self._workload_call_params())
 
+    def build_network(self):
+        """A fresh network model instance (budgets reset).
+
+        The agent engine takes ``None`` for the perfect network so its
+        fast path — bit-identical to the pre-network-layer engine — stays
+        in place; :meth:`build` performs that mapping.
+        """
+        return NETWORKS.create(self.network, **self.network_params)
+
     def build_events(self) -> List[object]:
         """Fresh scheduled-event instances."""
         built: List[object] = []
@@ -310,6 +344,7 @@ class ScenarioSpec:
             seed=self.seed,
             mode=self.mode,
             events=self.build_events(),
+            network=None if self.network == "perfect" else self.build_network(),
             group_relative=self.group_relative,
             store_estimates=self.store_estimates,
         )

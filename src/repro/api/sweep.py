@@ -50,7 +50,12 @@ __all__ = ["Sweep", "SweepRunner", "SweepResult"]
 METRIC_COLUMNS = ("final_error", "plateau_error", "final_truth", "mean_estimate", "n_alive")
 
 
-_PARAM_CONTAINERS = ("protocol_params", "environment_params", "workload_params")
+_PARAM_CONTAINERS = (
+    "protocol_params",
+    "environment_params",
+    "workload_params",
+    "network_params",
+)
 _SPEC_FIELDS = frozenset(spec_field.name for spec_field in dataclasses.fields(ScenarioSpec))
 
 

@@ -121,6 +121,11 @@ class EpochPushSum(PushSum):
         """The (possibly unconverged) estimate of the epoch in progress."""
         return super().estimate(state.mass)
 
+    def state_mass(self, state: EpochState) -> Optional[float]:
+        # The epoch restart in begin_round re-mints mass by design; the
+        # engine measures that injection around the hook (DESIGN.md §8).
+        return float(state.mass.weight)
+
     def describe(self) -> dict:
         return {
             "name": self.name,

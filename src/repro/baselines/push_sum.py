@@ -168,6 +168,14 @@ class PushSum(ExchangeProtocol):
     def payload_size(self, payload: Any) -> int:
         return 16
 
+    # ----------------------------------------------------------- conservation
+    def payload_mass(self, payload: Any) -> Optional[float]:
+        """The weight component — the quantity Push-Sum conserves."""
+        return float(payload[0])
+
+    def state_mass(self, state: MassState) -> Optional[float]:
+        return float(state.weight)
+
     def describe(self) -> dict:
         return {"name": self.name, "aggregate": self.aggregate, "fanout": self.fanout}
 

@@ -42,7 +42,7 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.analysis.render import render_series_table, render_table
-from repro.api import ENVIRONMENTS, FAILURES, PROTOCOLS, WORKLOADS
+from repro.api import ENVIRONMENTS, FAILURES, NETWORKS, PROTOCOLS, WORKLOADS
 from repro.api.spec import ScenarioSpec, run_scenario
 from repro.api.sweep import Sweep, SweepRunner
 from repro.experiments.runner import PROFILES, run_all_experiments
@@ -55,6 +55,17 @@ from repro.mobility.synthetic_haggle import generate_haggle_like_trace, haggle_d
 from repro.perf import add_bench_arguments, run_bench_command
 
 __all__ = ["main", "build_parser"]
+
+
+def _parse_json_object(raw: str) -> dict:
+    """Parse a flag value that must be a JSON object (e.g. network params)."""
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise argparse.ArgumentTypeError(f"invalid JSON {raw!r}: {error}") from None
+    if not isinstance(value, dict):
+        raise argparse.ArgumentTypeError(f"expected a JSON object, got {raw!r}")
+    return value
 
 
 def _parse_param(item: str) -> tuple:
@@ -92,6 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend (default: auto — vectorised whenever supported)",
     )
     run.add_argument("--seed", type=int, default=None, help="root random seed")
+    run.add_argument(
+        "--network", default=None,
+        help="registered network model (default: perfect delivery); "
+             "e.g. --network bernoulli-loss --network-params '{\"p\": 0.2}'",
+    )
+    run.add_argument(
+        "--network-params", type=_parse_json_object, default=None, metavar="JSON",
+        help="network model parameters as a JSON object",
+    )
     run.add_argument(
         "--group-relative", action="store_true", help="measure errors per contact group"
     )
@@ -190,6 +210,8 @@ def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
         "mode": args.mode,
         "seed": args.seed,
         "backend": args.backend,
+        "network": args.network,
+        "network_params": args.network_params,
     }
     for key, value in overrides.items():
         if value is not None:
@@ -226,11 +248,18 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps({"spec": spec.to_dict(), "result": result.as_dict()}, indent=2))
         return 0
+    network_note = "" if spec.network == "perfect" else f", network={spec.network}"
     print(
         f"Scenario {spec.label()}: {spec.protocol} over {spec.environment} gossip, "
         f"{spec.n_hosts} hosts, {spec.rounds} rounds "
-        f"(mode={spec.mode}, seed={spec.seed}, backend={result.metadata.get('backend', spec.backend)})"
+        f"(mode={spec.mode}, seed={spec.seed}, "
+        f"backend={result.metadata.get('backend', spec.backend)}{network_note})"
     )
+    if spec.network != "perfect" and result.total_lost() > 0:
+        print(
+            f"network {spec.network}: {result.total_lost()} messages lost, "
+            f"{result.in_flight_per_round()[-1]} still in flight at the end"
+        )
     print(
         render_series_table(
             "round",
@@ -274,7 +303,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 def _command_list(args: argparse.Namespace) -> int:
     rows = []
-    for registry in (PROTOCOLS, ENVIRONMENTS, FAILURES, WORKLOADS):
+    for registry in (PROTOCOLS, ENVIRONMENTS, FAILURES, WORKLOADS, NETWORKS):
         for index, key in enumerate(sorted(registry.keys())):
             rows.append([registry.kind if index == 0 else "", key])
     print(render_table(["kind", "name"], rows))

@@ -8,16 +8,21 @@ extensions add so that their claims are as reproducible as the paper's:
   chance to sign off.
 * **Extrema freshness** — static gossip max versus the freshness-limited
   `ExtremaReset` after the host holding the maximum departs.
+* **Loss-rate sweep** — plateau error of Push-Sum-Revert versus
+  Count-Sketch-Reset as the Bernoulli message-loss rate grows, a figure
+  the paper never ran (its evaluation assumes reliable delivery; the
+  network models of :mod:`repro.network` lift that assumption).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.render import render_table
+from repro.api.spec import ScenarioSpec, run_scenario
 from repro.baselines import ExtremaGossip, ExtremaReset, PushSum
 from repro.core import CountSketchReset, GracefulDepartureEvent, PushSumRevert
 from repro.environments import UniformEnvironment
@@ -32,7 +37,14 @@ __all__ = [
     "ExtremaComparisonResult",
     "run_extrema_comparison",
     "render_extrema_comparison",
+    "LossSweepResult",
+    "DEFAULT_LOSS_RATES",
+    "run_loss_sweep",
+    "render_loss_sweep",
 ]
+
+#: Loss rates swept by :func:`run_loss_sweep`.
+DEFAULT_LOSS_RATES = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
 
 
 @dataclass
@@ -149,6 +161,114 @@ def run_extrema_comparison(
         else:
             result.reset_errors = errors
     return result
+
+
+@dataclass
+class LossSweepResult:
+    """Plateau error versus Bernoulli loss rate, per dynamic protocol."""
+
+    n_hosts: int
+    rounds: int
+    loss_rates: Tuple[float, ...]
+    reversion: float
+    #: protocol label → {loss rate → plateau error as a fraction of truth}
+    relative_plateau: Dict[str, Dict[float, float]] = field(default_factory=dict)
+    #: protocol label → execution backend the sweep resolved to
+    backends: Dict[str, str] = field(default_factory=dict)
+
+
+def run_loss_sweep(
+    n_hosts: int = 400,
+    *,
+    rounds: int = 50,
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    reversion: float = 0.05,
+    bins: int = 16,
+    bits: int = 18,
+    cutoff: str = "slow",
+    seed: int = 0,
+    tail: int = 5,
+) -> LossSweepResult:
+    """Sweep the Bernoulli loss rate for the paper's two dynamic protocols.
+
+    Both protocols run in push mode, where a lost message genuinely
+    destroys its content: Push-Sum-Revert bleeds mass (the reversion step
+    continuously re-mints it, which is why it tolerates loss at all) and
+    Count-Sketch-Reset drops counter arrays — harmless until loss slows
+    propagation past the freshness cutoff, at which point live hosts'
+    counters start expiring and the estimate collapses.  The defaults
+    reflect push-only gossip: λ = 0.05 (push mixes slower than push/pull,
+    so the paper's λ = 0.1 leaves a large reversion noise floor) and the
+    ``"slow"`` (2×) cutoff, without which the sketch cannot even converge
+    losslessly one-way.  Plateau errors are reported relative to each
+    protocol's truth so an averaging protocol over [0, 100) values and a
+    counting protocol over ``n_hosts`` hosts are comparable.  ``loss=0``
+    is the paper's (perfect-network) regime.  Backends are pinned per
+    protocol — the lossy Push-Sum-Revert kernel and the agent engine for
+    the sketch — so every row of a column comes from one engine.
+    """
+    base = {
+        "push-sum-revert": ScenarioSpec(
+            protocol="push-sum-revert",
+            protocol_params={"reversion": reversion},
+            mode="push",
+            n_hosts=n_hosts,
+            rounds=rounds,
+            seed=seed,
+            backend="vectorized",
+            name="loss-sweep-push-sum-revert",
+        ),
+        "count-sketch-reset": ScenarioSpec(
+            protocol="count-sketch-reset",
+            protocol_params={"bins": bins, "bits": bits, "cutoff": cutoff},
+            workload="constant",
+            mode="push",
+            n_hosts=n_hosts,
+            rounds=rounds,
+            seed=seed,
+            backend="agent",
+            name="loss-sweep-count-sketch-reset",
+        ),
+    }
+    result = LossSweepResult(
+        n_hosts=n_hosts,
+        rounds=rounds,
+        loss_rates=tuple(float(rate) for rate in loss_rates),
+        reversion=reversion,
+    )
+    for label, spec in base.items():
+        result.backends[label] = spec.backend
+        per_rate: Dict[float, float] = {}
+        for rate in result.loss_rates:
+            lossy = spec if rate == 0.0 else spec.replace(
+                network="bernoulli-loss", network_params={"p": rate}
+            )
+            run = run_scenario(lossy)
+            truth = abs(run.final_truth()) or 1.0
+            per_rate[rate] = run.plateau_error(tail=tail) / truth
+        result.relative_plateau[label] = per_rate
+    return result
+
+
+def render_loss_sweep(result: LossSweepResult) -> str:
+    """Render the loss-rate sweep as a table (plateau error in % of truth)."""
+    labels = list(result.relative_plateau)
+    rows = [
+        [f"{rate:g}"] + [
+            round(100.0 * result.relative_plateau[label][rate], 3) for label in labels
+        ]
+        for rate in result.loss_rates
+    ]
+    header = (
+        f"Plateau error vs Bernoulli message-loss rate: {result.n_hosts} hosts, "
+        f"push gossip, {result.rounds} rounds (plateau = mean error over the last "
+        f"rounds, in % of the true aggregate).\n"
+        f"Push-Sum-Revert (lambda={result.reversion:g}) re-mints lost mass through "
+        "reversion; Count-Sketch-Reset re-announces identifiers every round.\n"
+    )
+    return header + render_table(
+        ["loss rate"] + [f"{label} (% err)" for label in labels], rows
+    )
 
 
 def render_extrema_comparison(result: ExtremaComparisonResult) -> str:

@@ -18,12 +18,13 @@ from repro.metrics.accuracy import (
     relative_error,
     stddev_from_truth,
 )
-from repro.metrics.bandwidth import CostSummary, protocol_cost_summary
+from repro.metrics.bandwidth import CostSummary, DeliveryMeter, protocol_cost_summary
 from repro.metrics.convergence import convergence_round, plateau_error, reconvergence_round
 from repro.metrics.recorder import SeriesRecorder
 
 __all__ = [
     "CostSummary",
+    "DeliveryMeter",
     "SeriesRecorder",
     "convergence_round",
     "group_relative_errors",

@@ -31,6 +31,7 @@ from repro.api.spec import ScenarioSpec, run_scenario
 
 __all__ = [
     "BenchRecord",
+    "DEFAULT_PROTOCOLS",
     "run_core_benchmark",
     "render_benchmark",
     "write_benchmark",
@@ -49,8 +50,14 @@ SMOKE_SIZES = (256, 1_024)
 #: the vectorised numbers alone (the speedup column needs both sides).
 AGENT_SIZE_CAPS = {
     "push-sum-revert": 10_000,
+    "push-sum-revert-lossy": 10_000,
     "count-sketch-reset": 2_000,
 }
+
+#: Protocol cells timed by default: the two dynamic protocols on a perfect
+#: network plus the lossy-network variant (Bernoulli loss exercises the
+#: delivery layer on the agent engine and the loss path in the kernel).
+DEFAULT_PROTOCOLS = ("push-sum-revert", "count-sketch-reset", "push-sum-revert-lossy")
 
 
 @dataclass
@@ -100,6 +107,22 @@ def _bench_spec(protocol: str, n_hosts: int, rounds: int, backend: str, seed: in
             backend=backend,
             name=f"bench {protocol} n={n_hosts} ({backend})",
         )
+    if protocol == "push-sum-revert-lossy":
+        # The lossy-network row: identical protocol work plus the delivery
+        # layer (agent) / the Bernoulli loss path (kernel).
+        return ScenarioSpec(
+            protocol="push-sum-revert",
+            protocol_params={"reversion": 0.1},
+            mode="push",
+            network="bernoulli-loss",
+            network_params={"p": 0.2},
+            n_hosts=n_hosts,
+            rounds=rounds,
+            seed=seed,
+            events=(failure,),
+            backend=backend,
+            name=f"bench {protocol} n={n_hosts} ({backend})",
+        )
     if protocol == "count-sketch-reset":
         return ScenarioSpec(
             protocol="count-sketch-reset",
@@ -132,7 +155,7 @@ def run_core_benchmark(
     repeats: int = 3,
     seed: int = 0,
     smoke: bool = False,
-    protocols: Sequence[str] = ("push-sum-revert", "count-sketch-reset"),
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
 ) -> Dict[str, object]:
     """Time every (protocol, backend, size) cell and return the payload.
 

@@ -13,6 +13,18 @@ Two execution modes are supported:
   the round (Figures 1, 3, 4, 5 of the paper);
 * ``mode="exchange"`` — hosts perform atomic pairwise push/pull exchanges
   (the Karp et al. optimisation the evaluation uses for Push-Sum-Revert).
+
+With a :mod:`repro.network` model installed, delivery is no longer
+instant or reliable: in push mode every non-self message is planned by
+the model — delivered this round, deferred ``d`` rounds through the
+in-flight :class:`~repro.network.DeliveryQueue`, or lost — and in
+exchange mode a lossy link makes the atomic exchange simply not happen
+(latency-capable models are rejected up front: an atomic push/pull
+cannot be deferred).  For mass-conserving protocols the engine keeps a
+:class:`~repro.network.MassLedger` and asserts every round that mass at
+hosts + mass in flight == mass created − mass lost (DESIGN.md §8).
+Without a model the engine follows the original perfect-delivery code
+path bit for bit.
 """
 
 from __future__ import annotations
@@ -21,6 +33,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.network.delivery import DeliveryQueue, InFlightMessage, MassLedger
+from repro.metrics.bandwidth import DeliveryMeter
 from repro.simulator.host import Host
 from repro.simulator.message import BandwidthMeter, Message
 from repro.simulator.protocol import AggregationProtocol, ExchangeProtocol
@@ -54,6 +68,13 @@ class Simulation:
     events:
         Scheduled events; each must expose a ``round`` attribute and an
         ``apply(simulation, round_index)`` method (see :mod:`repro.failures`).
+    network:
+        A :class:`~repro.network.NetworkModel` deciding the fate of every
+        non-self message (loss, delay, budget drops), or ``None`` (the
+        default) for the original instant-and-reliable delivery.  All
+        network randomness comes from the dedicated ``"network"`` stream,
+        so installing a model never perturbs peer selection or protocol
+        draws.  Latency-capable models require ``mode="push"``.
     group_relative:
         Compute each host's error against its *group's* aggregate rather than
         the global aggregate.  Requires an environment that provides groups
@@ -83,11 +104,18 @@ class Simulation:
         seed: int = 0,
         mode: str = "push",
         events: Optional[Iterable] = None,
+        network=None,
         group_relative: bool = False,
         store_estimates: bool = False,
     ):
         if mode not in ("push", "exchange"):
             raise ValueError(f"unknown mode {mode!r}; expected 'push' or 'exchange'")
+        if network is not None and mode == "exchange" and getattr(network, "has_latency", False):
+            raise ValueError(
+                f"network model {getattr(network, 'name', type(network).__name__)!r} can delay "
+                "delivery, but mode='exchange' performs atomic push/pull exchanges that cannot "
+                "be deferred; use mode='push' or a loss-only network model"
+            )
         if mode == "exchange" and not (
             isinstance(protocol, ExchangeProtocol)
             and getattr(protocol, "supports_exchange", True)
@@ -109,6 +137,11 @@ class Simulation:
         self.group_relative = group_relative
         self.store_estimates = store_estimates
         self.bandwidth = BandwidthMeter()
+        self.network = network
+        self.delivery = DeliveryMeter()
+        self.mass_ledger = MassLedger()
+        self._in_flight = DeliveryQueue()
+        self._network_rng = self.streams.get("network") if network is not None else None
         self.hosts: Dict[int, Host] = {}
         self.round_index = 0
         self._next_host_id = 0
@@ -117,16 +150,27 @@ class Simulation:
         self._protocol_rng = self.streams.get("protocol")
         for value in values:
             self.add_host(float(value), round_index=0)
+        # Mass conservation is tracked whenever the network can reorder or
+        # drop deliveries and the protocol exposes a conserved quantity.
+        self._track_mass = False
+        if network is not None and self.hosts:
+            probe = next(iter(self.hosts.values()))
+            if self.protocol.state_mass(probe.state) is not None:
+                self._track_mass = True
+                self.mass_ledger.open(self._total_state_mass())
+        metadata = {
+            "mode": mode,
+            "environment": type(environment).__name__,
+            "n_initial": len(self.hosts),
+            "protocol_params": protocol.describe(),
+        }
+        if network is not None:
+            metadata["network"] = network.describe()
         self.result = SimulationResult(
             protocol_name=protocol.name,
             aggregate=protocol.aggregate,
             seed=self.streams.seed,
-            metadata={
-                "mode": mode,
-                "environment": type(environment).__name__,
-                "n_initial": len(self.hosts),
-                "protocol_params": protocol.describe(),
-            },
+            metadata=metadata,
         )
 
     # ----------------------------------------------------------- population
@@ -186,28 +230,73 @@ class Simulation:
     def step(self) -> RoundRecord:
         """Execute exactly one gossip round and return its record."""
         t = self.round_index
+        mass_checkpoint = self._total_state_mass() if self._track_mass else 0.0
         self._apply_events(t)
+        if self._track_mass:
+            # Events may mint mass (joins) or drop it (graceful departures
+            # with no survivor); both are deliberate, not leaks.
+            mass_checkpoint = self._record_mass_injection(mass_checkpoint)
+        if self.network is not None:
+            self.network.begin_round(t)
         alive = self.alive_ids()
         alive_set = set(alive)
         received_counts: Dict[int, int] = {host_id: 0 for host_id in alive}
 
         for host_id in alive:
             self.protocol.begin_round(self.hosts[host_id].state, t, self._protocol_rng)
+        if self._track_mass:
+            # Epoch restarts re-mint mass inside begin_round by design.
+            mass_checkpoint = self._record_mass_injection(mass_checkpoint)
 
         if self.mode == "push":
             self._push_round(alive, alive_set, received_counts, t)
         else:
             self._exchange_round(alive, alive_set, received_counts, t)
+        if self._track_mass:
+            # The round body may only move mass (host→flight→host) or lose
+            # it through the network — both already on the ledger — so the
+            # books must balance before the protocol's own finalize step.
+            mass_checkpoint = self._total_state_mass()
+            self.mass_ledger.check(
+                mass_checkpoint + self._in_flight.in_flight_mass, round_index=t
+            )
 
         for host_id in alive:
             self.protocol.finalize_round(
                 self.hosts[host_id].state, received_counts[host_id], self._protocol_rng
             )
+        if self._track_mass:
+            # Reversion injects mass towards each initial value by design.
+            self._record_mass_injection(mass_checkpoint)
 
+        if self.network is not None:
+            self.delivery.snapshot_in_flight(t, self._in_flight.in_flight)
         record = self._record_round(alive, t)
         self.result.append(record)
         self.round_index += 1
         return record
+
+    # ------------------------------------------------------ mass conservation
+    def _total_state_mass(self) -> float:
+        """Conserved mass at every host — including the mass stranded at
+        silently departed hosts, which stays in their frozen state."""
+        return sum(
+            self.protocol.state_mass(host.state) or 0.0 for host in self.hosts.values()
+        )
+
+    def _record_mass_injection(self, previous_total: float) -> float:
+        """Attribute any state-mass change since ``previous_total`` to the
+        protocol/events (deliberate injection) and return the new total."""
+        total = self._total_state_mass()
+        if total != previous_total:
+            self.mass_ledger.record_injected(total - previous_total)
+        return total
+
+    def _record_lost_message(self, round_index: int, mass: Optional[float]) -> None:
+        """Account one lost message (and its conserved mass, if any)."""
+        self.delivery.record_lost(round_index, mass=mass or 0.0)
+        if self._track_mass and mass is not None:
+            self.mass_ledger.record_lost(mass)
 
     # ----------------------------------------------------------- round bodies
     def _push_round(
@@ -218,6 +307,18 @@ class Simulation:
         t: int,
     ) -> None:
         inboxes: Dict[int, List] = {host_id: [] for host_id in alive}
+        if self.network is not None:
+            # Deliver the in-flight messages that mature this round before
+            # this round's sends, so their payloads integrate alongside them.
+            for item in self._in_flight.due(t):
+                if item.destination in alive_set:
+                    inboxes[item.destination].append(item.payload)
+                    received_counts[item.destination] += 1
+                    self.delivery.record_delivered(t)
+                else:
+                    # Matured at a host that has since departed: lost, just
+                    # like a same-round send to a failed host.
+                    self._record_lost_message(t, item.mass)
         for host_id in alive:
             peers = self.environment.select_peers(
                 host_id, alive_set, t, self.protocol.fanout, self._peer_rng
@@ -228,13 +329,44 @@ class Simulation:
             for destination, payload in payloads:
                 target = host_id if destination is None else destination
                 message = Message(host_id, target, payload, t)
-                self.bandwidth.record(message, self.protocol.payload_size(payload))
-                if target in alive_set:
+                size = self.protocol.payload_size(payload)
+                self.bandwidth.record(message, size)
+                if self.network is None:
+                    if target in alive_set:
+                        inboxes[target].append(payload)
+                        received_counts[target] += 1
+                    # Payloads addressed to failed hosts are silently lost:
+                    # this is exactly the mass-leaves-the-system behaviour of
+                    # a silent departure mid-computation.
+                    continue
+                if message.is_self_message:
+                    # Self-messages never touch the radio; the network model
+                    # cannot lose or delay them.
+                    inboxes[host_id].append(payload)
+                    received_counts[host_id] += 1
+                    continue
+                mass = self.protocol.payload_mass(payload)
+                if target not in alive_set:
+                    self._record_lost_message(t, mass)
+                    continue
+                delay = self.network.plan(host_id, target, t, size, self._network_rng)
+                if delay is None:
+                    self._record_lost_message(t, mass)
+                elif delay == 0:
                     inboxes[target].append(payload)
                     received_counts[target] += 1
-                # Payloads addressed to failed hosts are silently lost: this is
-                # exactly the mass-leaves-the-system behaviour of a silent
-                # departure mid-computation.
+                    self.delivery.record_delivered(t)
+                else:
+                    self._in_flight.schedule(
+                        InFlightMessage(
+                            source=host_id,
+                            destination=target,
+                            payload=payload,
+                            sent_round=t,
+                            deliver_round=t + int(delay),
+                            mass=mass,
+                        )
+                    )
         for host_id in alive:
             self.protocol.integrate(
                 self.hosts[host_id].state, inboxes[host_id], self._protocol_rng
@@ -261,6 +393,23 @@ class Simulation:
             state_a = self.hosts[host_id].state
             state_b = self.hosts[peer_id].state
             size = self.protocol.exchange_size(state_a, state_b)
+            if self.network is not None:
+                delay = self.network.plan(host_id, peer_id, t, size, self._network_rng)
+                if delay is None:
+                    # A lossy link makes the atomic exchange not happen at
+                    # all (both directions; mass is never at risk in
+                    # exchange mode — see DESIGN.md §8).  The initiator's
+                    # transmitted half still cost radio bytes, mirroring
+                    # how lost push payloads stay on the bandwidth meter.
+                    self.delivery.record_lost(t, 2)
+                    self.bandwidth.record_lost_exchange(t, host_id, size)
+                    continue
+                if delay:
+                    raise RuntimeError(  # pragma: no cover - rejected eagerly
+                        f"network model {self.network.name!r} returned a delivery delay of "
+                        f"{delay} rounds, but atomic push/pull exchanges cannot be deferred"
+                    )
+                self.delivery.record_delivered(t, 2)
             self.protocol.exchange(state_a, state_b, self._protocol_rng)
             self.bandwidth.record_exchange(t, host_id, peer_id, size)
             received_counts[host_id] += 1
@@ -316,6 +465,9 @@ class Simulation:
             bytes_sent=self.bandwidth.bytes_in_round(t),
             estimates=dict(estimates) if self.store_estimates else None,
             group_sizes=mean_group_size,
+            messages_delivered=self.delivery.delivered_in_round(t),
+            messages_lost=self.delivery.lost_in_round(t),
+            messages_in_flight=self.delivery.in_flight_after_round(t),
         )
 
     # ---------------------------------------------------------------- events

@@ -121,6 +121,17 @@ class BandwidthMeter:
         self.bytes_per_host[host_a] += size
         self.bytes_per_host[host_b] += size
 
+    def record_lost_exchange(self, round_index: int, initiator: int, size: int) -> None:
+        """Record a push/pull attempt whose link dropped it.
+
+        The initiator transmitted its half (those radio bytes — and the
+        power they cost — are spent either way, exactly like a lost push
+        payload); the reply never happened and costs nothing.
+        """
+        self.bytes_per_round[round_index] += size
+        self.messages_per_round[round_index] += 1
+        self.bytes_per_host[initiator] += size
+
     @property
     def total_bytes(self) -> int:
         """All bytes placed on the simulated network."""

@@ -103,6 +103,22 @@ class AggregationProtocol(abc.ABC):
     def estimate(self, state: Any) -> float:
         """The host's current estimate of the aggregate."""
 
+    # ----------------------------------------------------------- conservation
+    def payload_mass(self, payload: Any) -> Optional[float]:
+        """Conserved mass carried by ``payload``, or ``None``.
+
+        Mass-conserving protocols (the Push-Sum family) report the weight
+        component of each payload so the engine's delivery layer can keep
+        the mass-conservation ledger under lossy/latent networks (see
+        DESIGN.md §8).  ``None`` (the default) means the protocol has no
+        conserved quantity and the ledger stays off.
+        """
+        return None
+
+    def state_mass(self, state: Any) -> Optional[float]:
+        """Conserved mass held in ``state``, or ``None`` (see :meth:`payload_mass`)."""
+        return None
+
     # ------------------------------------------------------------ introspection
     def payload_size(self, payload: Any) -> int:
         """Bytes a payload occupies on the radio; override for tighter models."""

@@ -34,6 +34,12 @@ class RoundRecord:
         Additional error summaries used by some analyses.
     bytes_sent:
         Radio bytes placed on the network during the round.
+    messages_delivered / messages_lost / messages_in_flight:
+        Delivery outcomes on the simulated network during the round
+        (``repro.network``): non-self messages delivered, messages lost
+        (link loss, over-budget drops, sends to departed hosts) and the
+        in-flight backlog at the end of the round.  All zero for runs
+        without a network model (the perfect-delivery fast path).
     estimates:
         Per-host estimates, retained only when the engine was created with
         ``store_estimates=True`` (small runs / debugging).
@@ -52,6 +58,9 @@ class RoundRecord:
     bytes_sent: int = 0
     estimates: Optional[Dict[int, float]] = None
     group_sizes: Optional[float] = None
+    messages_delivered: int = 0
+    messages_lost: int = 0
+    messages_in_flight: int = 0
 
 
 @dataclass
@@ -104,6 +113,22 @@ class SimulationResult:
     def group_size_series(self) -> List[Optional[float]]:
         """Per-round mean group size (``None`` entries for non-trace runs)."""
         return [record.group_sizes for record in self.rounds]
+
+    def delivered_per_round(self) -> List[int]:
+        """Per-round messages the simulated network delivered."""
+        return [record.messages_delivered for record in self.rounds]
+
+    def lost_per_round(self) -> List[int]:
+        """Per-round messages the simulated network lost."""
+        return [record.messages_lost for record in self.rounds]
+
+    def in_flight_per_round(self) -> List[int]:
+        """Per-round in-flight backlog at the end of each round."""
+        return [record.messages_in_flight for record in self.rounds]
+
+    def total_lost(self) -> int:
+        """Messages lost over the whole run."""
+        return sum(record.messages_lost for record in self.rounds)
 
     # -------------------------------------------------------------- summaries
     def final_record(self) -> RoundRecord:
@@ -191,6 +216,9 @@ class SimulationResult:
                     "mean_estimate": record.mean_estimate,
                     "stddev_error": record.stddev_error,
                     "bytes_sent": record.bytes_sent,
+                    "messages_delivered": record.messages_delivered,
+                    "messages_lost": record.messages_lost,
+                    "messages_in_flight": record.messages_in_flight,
                 }
                 for record in self.rounds
             ],

@@ -185,6 +185,15 @@ class VectorizedPushSumRevert(_ValueKernel):
         Indegree-adaptive reversion (push and full-transfer modes only;
         under the matching-based push/pull every host has indegree 1, so the
         adaptive rule coincides with the fixed rule).
+    loss:
+        Bernoulli message-loss probability (the ``bernoulli-loss`` network
+        model of :mod:`repro.network`).  In push and full-transfer modes
+        each emitted mass parcel is lost independently with probability
+        ``loss`` — the mass leaves the system and accumulates in
+        :attr:`mass_lost` — while in pushpull mode a lossy link makes the
+        atomic pairwise exchange simply not happen (no mass at risk),
+        matching the agent engine's exchange semantics.  ``loss=0`` draws
+        no extra randomness, so it is bit-identical to the lossless kernel.
     seed:
         Randomness seed.
     """
@@ -198,12 +207,15 @@ class VectorizedPushSumRevert(_ValueKernel):
         parcels: int = 4,
         history: int = 3,
         adaptive: bool = False,
+        loss: float = 0.0,
         seed: int = 0,
     ):
         if mode not in ("push", "pushpull", "full-transfer"):
             raise ValueError(f"unknown mode {mode!r}")
         if not 0.0 <= reversion <= 1.0:
             raise ValueError("reversion must be in [0, 1]")
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError("loss must be in [0, 1]")
         if parcels < 1 or history < 1:
             raise ValueError("parcels and history must be >= 1")
         self.initial = np.asarray(list(values), dtype=float)
@@ -215,6 +227,13 @@ class VectorizedPushSumRevert(_ValueKernel):
         self.parcels = int(parcels)
         self.history = int(history)
         self.adaptive = bool(adaptive)
+        self.loss = float(loss)
+        #: Conserved mass (weight) destroyed by lost messages so far.
+        self.mass_lost = 0.0
+        #: Cumulative network delivery outcomes (non-self messages; one
+        #: pairwise exchange counts as two, matching the agent engine).
+        self.messages_delivered = 0
+        self.messages_lost = 0
         self.rng = np.random.default_rng(seed)
         self.alive = np.ones(self.n, dtype=bool)
         self.weight = np.ones(self.n, dtype=float)
@@ -254,6 +273,14 @@ class VectorizedPushSumRevert(_ValueKernel):
         pair_count = order.size // 2
         left = order[:pair_count]
         right = order[pair_count : 2 * pair_count]
+        if self.loss > 0.0:
+            # A lossy link makes the atomic exchange not happen: the pair
+            # keeps its masses untouched (no mass is ever at risk here).
+            kept = self.rng.random(pair_count) >= self.loss
+            left = left[kept]
+            right = right[kept]
+            self.messages_lost += 2 * int(pair_count - left.size)
+        self.messages_delivered += 2 * int(left.size)
         mean_weight = (self.weight[left] + self.weight[right]) / 2.0
         mean_total = (self.total[left] + self.total[right]) / 2.0
         self.weight[left] = mean_weight
@@ -271,6 +298,16 @@ class VectorizedPushSumRevert(_ValueKernel):
         # sender itself — self-selection is allowed in uniform push gossip).
         np.add.at(new_weight, alive_idx, outgoing_weight)
         np.add.at(new_total, alive_idx, outgoing_total)
+        if self.loss > 0.0:
+            # The pushed halves traverse the network; each is lost
+            # independently and its mass leaves the system for good.
+            kept = self.rng.random(alive_idx.size) >= self.loss
+            targets = targets[kept]
+            self.mass_lost += float(outgoing_weight[~kept].sum())
+            self.messages_lost += int(alive_idx.size - targets.size)
+            outgoing_weight = outgoing_weight[kept]
+            outgoing_total = outgoing_total[kept]
+        self.messages_delivered += int(targets.size)
         np.add.at(new_weight, targets, outgoing_weight)
         np.add.at(new_total, targets, outgoing_total)
         received = np.zeros(self.n, dtype=np.int64)
@@ -295,8 +332,18 @@ class VectorizedPushSumRevert(_ValueKernel):
         new_total = np.zeros(self.n, dtype=float)
         for _ in range(self.parcels):
             targets = alive_idx[self.rng.integers(0, alive_idx.size, size=alive_idx.size)]
-            np.add.at(new_weight, targets, parcel_weight)
-            np.add.at(new_total, targets, parcel_total)
+            if self.loss > 0.0:
+                # Every parcel is a message; lost parcels drain mass.
+                kept = self.rng.random(alive_idx.size) >= self.loss
+                np.add.at(new_weight, targets[kept], parcel_weight[kept])
+                np.add.at(new_total, targets[kept], parcel_total[kept])
+                self.mass_lost += float(parcel_weight[~kept].sum())
+                self.messages_lost += int(alive_idx.size - int(kept.sum()))
+                self.messages_delivered += int(kept.sum())
+            else:
+                np.add.at(new_weight, targets, parcel_weight)
+                np.add.at(new_total, targets, parcel_total)
+                self.messages_delivered += int(alive_idx.size)
         self.weight[alive_idx] = new_weight[alive_idx]
         self.total[alive_idx] = new_total[alive_idx]
         # Record this round in the history of hosts that received any mass.
