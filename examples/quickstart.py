@@ -15,7 +15,10 @@ This script walks through the library's core workflow both ways:
    average after the highest-valued half of the hosts silently departs;
 4. re-run the same gossip over a *lossy* network (``repro.network``):
    one in five messages vanishes, yet reversion keeps re-minting the
-   lost mass and the estimate stays useful.
+   lost mass and the estimate stays useful;
+5. re-run the λ sweep against a :class:`repro.ResultStore` — the second
+   pass executes zero cells and returns a bit-identical table straight
+   from the content-addressed cache (``repro.store``, DESIGN.md §9).
 
 The spec also round-trips through JSON, which is exactly what
 ``repro-aggregate run --config`` and ``repro-aggregate sweep`` consume.
@@ -27,10 +30,14 @@ Run it with::
     python examples/quickstart.py
 """
 
+import tempfile
+import time
+
 from repro import (
     CorrelatedFailure,
     FailureEvent,
     PushSumRevert,
+    ResultStore,
     ScenarioSpec,
     Simulation,
     Sweep,
@@ -136,6 +143,27 @@ def main() -> None:
         f"average: final error {lossy.final_error():.1f} "
         f"(vs {dynamic.final_error():.1f} after the correlated departure above)."
     )
+
+    # Path 5: never compute the same scenario twice.  A ResultStore
+    # (repro.store) addresses results by the spec's canonical hash
+    # (spec.key()), so re-running an identical sweep serves every cell
+    # from the cache, bit-identically — the CLI equivalent is
+    # `repro-aggregate sweep --config … --cache-dir .repro-cache`.
+    with tempfile.TemporaryDirectory() as cache_dir:
+        store = ResultStore(cache_dir)
+        start = time.perf_counter()
+        cold = SweepRunner(store=store).run(sweep)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = SweepRunner(store=store).run(sweep)
+        warm_seconds = time.perf_counter() - start
+        assert warm.cache_hits() == len(warm) and warm.executed() == 0
+        assert warm.rows == cold.rows and warm.render() == cold.render()
+        print(
+            f"\nResult store: cold sweep ran {cold.executed()} cells in "
+            f"{cold_seconds * 1000:.0f} ms; warm re-run served {warm.cache_hits()}/"
+            f"{len(warm)} from cache in {warm_seconds * 1000:.0f} ms, bit-identical."
+        )
 
 
 if __name__ == "__main__":

@@ -136,6 +136,7 @@ from repro.network import (
     StackedNetwork,
 )
 from repro.simulator import Simulation, SimulationResult
+from repro.store import ResultStore
 
 __all__ = [
     "BandwidthCapNetwork",
@@ -160,6 +161,7 @@ __all__ = [
     "PushPull",
     "PushSum",
     "PushSumRevert",
+    "ResultStore",
     "ScenarioSpec",
     "StackedNetwork",
     "SketchCount",

@@ -430,9 +430,23 @@ def validate_backend(spec: "ScenarioSpec") -> None:
         )
 
 
-def run_with_backend(spec: "ScenarioSpec") -> SimulationResult:
-    """Execute ``spec`` on its resolved backend."""
+def run_with_backend(spec: "ScenarioSpec", *, store=None, refresh: bool = False) -> SimulationResult:
+    """Execute ``spec`` on its resolved backend.
+
+    This is the single point every execution path funnels through
+    (:func:`~repro.api.spec.run_scenario`, :meth:`ScenarioSpec.run`, the
+    sweep runner's serial path), so the result-store hook lives here: with
+    a :class:`repro.store.ResultStore` the lookup happens before any
+    engine is built, and a fresh result is written back after the run.
+    ``refresh=True`` skips the lookup but keeps the write-back.
+    """
+    if store is not None and not refresh:
+        cached = store.get(spec)
+        if cached is not None:
+            return cached
     name = resolve_backend(spec)
     result = BACKENDS.get(name).run(spec)
     result.metadata.setdefault("backend", name)
+    if store is not None:
+        store.put(spec, result)
     return result

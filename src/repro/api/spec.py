@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -355,11 +356,40 @@ class ScenarioSpec:
 
         return resolve_backend(self)
 
-    def run(self) -> SimulationResult:
-        """Run the scenario for :attr:`rounds` rounds on its backend."""
+    def key(self) -> str:
+        """The spec's stable canonical hash (the result-store address).
+
+        The key is the SHA-256 of the key-sorted JSON form of the spec —
+        every field that can influence the simulation: components and their
+        parameters, population, rounds, mode, seed, events, network,
+        ``group_relative`` / ``store_estimates`` — with two normalisations:
+
+        * ``name`` is excluded (a label changes reports, never results), and
+        * ``backend`` is replaced by :meth:`resolved_backend`, so an
+          ``"auto"`` spec shares its cache entry with the explicit backend
+          it resolves to — and changes address automatically when a new
+          kernel makes ``"auto"`` resolve differently.
+
+        Canonical JSON (sorted keys, fixed separators) makes the key
+        independent of dict insertion order and of the process that
+        computes it; ``tests/test_store.py`` pins both properties.
+        """
+        payload = self.to_dict()
+        payload.pop("name", None)
+        payload["backend"] = self.resolved_backend()
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def run(self, *, store=None, refresh: bool = False) -> SimulationResult:
+        """Run the scenario for :attr:`rounds` rounds on its backend.
+
+        With a :class:`repro.store.ResultStore` the store is consulted
+        first (unless ``refresh`` forces re-execution) and executed results
+        are written back — see :func:`run_scenario`.
+        """
         from repro.api.backends import run_with_backend
 
-        return run_with_backend(self)
+        return run_with_backend(self, store=store, refresh=refresh)
 
     # ------------------------------------------------------------ serialisation
     def to_dict(self) -> Dict[str, Any]:
@@ -407,8 +437,20 @@ class ScenarioSpec:
         return f"{self.protocol}/{self.environment}/n={self.n_hosts}/seed={self.seed}"
 
 
-def run_scenario(spec: ScenarioSpec) -> SimulationResult:
-    """Build and run ``spec``; equal specs produce identical results."""
+def run_scenario(spec: ScenarioSpec, *, store=None, refresh: bool = False) -> SimulationResult:
+    """Build and run ``spec``; equal specs produce identical results.
+
+    Parameters
+    ----------
+    store:
+        An optional :class:`repro.store.ResultStore`.  When given, the
+        store is checked first — a hit returns the cached result without
+        executing anything, bit-identical to the run that produced it —
+        and a miss executes the scenario and writes the result back.
+    refresh:
+        Skip the store lookup (but still write the fresh result back);
+        use to overwrite suspect entries.
+    """
     if not isinstance(spec, ScenarioSpec):
         raise TypeError(f"run_scenario expects a ScenarioSpec, got {type(spec).__name__}")
-    return spec.run()
+    return spec.run(store=store, refresh=refresh)

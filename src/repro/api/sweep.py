@@ -24,10 +24,17 @@ scenario on every machine.
 
 :class:`SweepRunner` executes the expanded grid serially or across
 processes (``concurrent.futures.ProcessPoolExecutor``).  Specs are shipped
-to workers as plain dicts (see :meth:`ScenarioSpec.to_dict`), results come
-back in grid order regardless of completion order, and every scenario
-carries its own seed — so parallel and serial execution produce
-identical :class:`SweepResult` tables.
+to workers as plain dicts (see :meth:`ScenarioSpec.to_dict`), rows are
+reassembled into grid order by cell index regardless of completion order,
+and every scenario carries its own seed — so parallel and serial execution
+produce identical :class:`SweepResult` tables that diff cleanly in CI.
+
+With a :class:`repro.store.ResultStore` the runner is *incremental*: the
+grid is partitioned into cached hits and pending cells, only the pending
+cells execute, and every completed cell is written back immediately by the
+parent process (a single writer, even when a pool computes the results).
+That write-as-completed discipline is what makes sweeps resumable — a
+sweep killed after N cells re-runs as N hits plus the remainder.
 """
 
 from __future__ import annotations
@@ -36,13 +43,16 @@ import dataclasses
 import itertools
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.render import render_table
 from repro.api.spec import ScenarioSpec, run_scenario
 from repro.simulator import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import ResultStore
 
 __all__ = ["Sweep", "SweepRunner", "SweepResult"]
 
@@ -179,6 +189,15 @@ def _execute_spec_payload(payload: Dict[str, Any]) -> SimulationResult:
     return run_scenario(ScenarioSpec.from_dict(payload))
 
 
+def _execute_payload_batch(payloads: Sequence[Dict[str, Any]]) -> List[SimulationResult]:
+    """Process-pool worker: run a chunk of specs in one task.
+
+    Workers never touch the result store — they only compute.  Results
+    travel back to the parent, which is the sweep's single writer.
+    """
+    return [_execute_spec_payload(payload) for payload in payloads]
+
+
 def _summarise(assignment: Dict[str, Any], spec: ScenarioSpec, result: SimulationResult) -> Dict[str, Any]:
     """One tidy row: the axis assignment plus the run's summary metrics."""
     final = result.final_record()
@@ -203,7 +222,10 @@ class SweepResult:
     ``rows`` is a list of flat dicts (axis values + summary metrics) ready
     for :mod:`repro.analysis`; ``results`` holds the complete
     :class:`~repro.simulator.SimulationResult` trajectories in the same
-    (grid) order.
+    (grid) order.  ``cached`` records, per cell, whether the result came
+    out of a :class:`repro.store.ResultStore` instead of being executed —
+    deliberately *not* part of ``rows`` or :meth:`render`, so a warm re-run
+    of a sweep is bit-identical to the cold run that populated the store.
     """
 
     axis_names: List[str]
@@ -211,9 +233,18 @@ class SweepResult:
     results: List[SimulationResult] = field(default_factory=list)
     rows: List[Dict[str, Any]] = field(default_factory=list)
     parallel: bool = False
+    cached: List[bool] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    def cache_hits(self) -> int:
+        """How many cells were served from the result store."""
+        return sum(1 for hit in self.cached if hit)
+
+    def executed(self) -> int:
+        """How many cells actually ran a simulation."""
+        return len(self.cached) - self.cache_hits() if self.cached else len(self.rows)
 
     def to_records(self) -> List[Dict[str, Any]]:
         """The tidy rows (copies), one dict per executed scenario."""
@@ -254,11 +285,22 @@ class SweepRunner:
     chunksize:
         Scenarios shipped to a worker per task; raise it for large grids of
         short runs to amortise the pickling round-trips.
+    store:
+        An optional :class:`repro.store.ResultStore`.  The grid is then
+        partitioned into cached hits and pending cells; only pending cells
+        execute, and each completed cell is written back immediately by
+        this (parent) process — the pool workers never open the store —
+        so an interrupted sweep resumes from the cells it finished.
+    refresh:
+        Re-execute every cell even on a hit (results are still written
+        back); use to overwrite suspect store entries.
     """
 
     parallel: bool = False
     max_workers: Optional[int] = None
     chunksize: int = 1
+    store: Optional["ResultStore"] = None
+    refresh: bool = False
 
     def __post_init__(self):
         if self.chunksize < 1:
@@ -280,18 +322,57 @@ class SweepRunner:
             axis_names = []
         specs = [spec for _assignment, spec in points]
 
-        if self.parallel and len(specs) > 1:
-            workers = min(self.max_workers or (os.cpu_count() or 1), len(specs))
-            payloads = [spec.to_dict() for spec in specs]
-            with ProcessPoolExecutor(max_workers=workers) as executor:
-                results = list(
-                    executor.map(_execute_spec_payload, payloads, chunksize=self.chunksize)
-                )
-            ran_parallel = True
-        else:
-            results = [run_scenario(spec) for spec in specs]
-            ran_parallel = False
+        # ---------------------------------------------- store partitioning
+        results: List[Optional[SimulationResult]] = [None] * len(specs)
+        cached = [False] * len(specs)
+        if self.store is not None and not self.refresh:
+            for index, spec in enumerate(specs):
+                hit = self.store.get(spec)
+                if hit is not None:
+                    results[index] = hit
+                    cached[index] = True
+        pending = [index for index, result in enumerate(results) if result is None]
 
+        # -------------------------------------------------------- execution
+        # The reported mode follows the runner's configuration, not the
+        # pending count, so a fully-cached re-run renders the same table
+        # header as the cold run that populated the store.
+        ran_parallel = self.parallel and len(specs) > 1
+        if self.parallel and len(pending) > 1:
+            workers = min(self.max_workers or (os.cpu_count() or 1), len(pending))
+            batches = [
+                pending[start : start + self.chunksize]
+                for start in range(0, len(pending), self.chunksize)
+            ]
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                future_to_batch = {
+                    executor.submit(
+                        _execute_payload_batch, [specs[index].to_dict() for index in batch]
+                    ): batch
+                    for batch in batches
+                }
+                # Harvest as batches complete (not in submission order) so
+                # every finished cell reaches the store before the next
+                # wait — the property that makes a killed sweep resumable.
+                outstanding = set(future_to_batch)
+                while outstanding:
+                    done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        batch = future_to_batch[future]
+                        for index, result in zip(batch, future.result()):
+                            if self.store is not None:
+                                self.store.put(specs[index], result)
+                            results[index] = result
+        else:
+            for index in pending:
+                result = run_scenario(specs[index])
+                if self.store is not None:
+                    self.store.put(specs[index], result)
+                results[index] = result
+
+        # Rows are assembled from the index-addressed slots, so they are in
+        # grid order by construction — regardless of worker count, batch
+        # completion order, or which cells came from the store.
         rows = [
             _summarise(assignment, spec, result)
             for (assignment, spec), result in zip(points, results)
@@ -302,4 +383,5 @@ class SweepRunner:
             results=results,
             rows=rows,
             parallel=ran_parallel,
+            cached=cached,
         )

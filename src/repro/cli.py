@@ -16,6 +16,13 @@ Subcommands
     List the registered protocols, environments, failure models and
     workloads a scenario can name.
 
+``cache``
+    Inspect and manage the content-addressed result store
+    (:mod:`repro.store`): ``stats``, ``prune`` and ``clear``.  ``run``,
+    ``sweep`` and ``experiments`` opt into the store with ``--cache`` /
+    ``--cache-dir`` (and out with ``--no-cache``), making repeated runs of
+    unchanged scenarios instant.
+
 ``experiments``
     Run the paper's evaluation figures (all of them or a subset) under the
     ``quick`` or ``full`` profile and print the rendered tables.
@@ -53,8 +60,32 @@ from repro.mobility.stats import (
 )
 from repro.mobility.synthetic_haggle import generate_haggle_like_trace, haggle_dataset
 from repro.perf import add_bench_arguments, run_bench_command
+from repro.store import DEFAULT_CACHE_DIR, ResultStore
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the result-store flags shared by run/sweep/experiments."""
+    parser.add_argument(
+        "--cache", action="store_true",
+        help=f"serve/record results through the result store (default dir: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result store even when --cache/--cache-dir is given",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-store directory (implies --cache)",
+    )
+
+
+def _store_from_args(args: argparse.Namespace) -> Optional[ResultStore]:
+    """The ResultStore the flags ask for, or None when caching is off."""
+    if args.no_cache or not (args.cache or args.cache_dir):
+        return None
+    return ResultStore(args.cache_dir or DEFAULT_CACHE_DIR)
 
 
 def _parse_json_object(raw: str) -> dict:
@@ -129,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--every", type=int, default=5, help="print every Nth round")
     run.add_argument("--json", action="store_true", help="print the result as JSON")
+    _add_cache_arguments(run)
 
     sweep = subparsers.add_parser(
         "sweep", help="expand a JSON sweep (base scenario x axes) and run the grid"
@@ -138,9 +170,26 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=None, help="process-pool size")
     sweep.add_argument("--chunksize", type=int, default=1, help="scenarios per pool task")
     sweep.add_argument("--output", default=None, help="also write the table to this file")
+    _add_cache_arguments(sweep)
 
     subparsers.add_parser(
         "list", help="list the registered protocols, environments, failures and workloads"
+    )
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect/manage the content-addressed result store"
+    )
+    cache.add_argument(
+        "action", choices=("stats", "prune", "clear"),
+        help="stats: summarise the store; prune: drop stale/old entries; clear: drop everything",
+    )
+    cache.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"result-store directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    cache.add_argument(
+        "--older-than", type=float, default=None, metavar="DAYS",
+        help="with prune: also drop entries created more than DAYS days ago",
     )
 
     experiments = subparsers.add_parser(
@@ -166,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "--output", default=None, help="also write the report to this file"
     )
+    _add_cache_arguments(experiments)
 
     bench = subparsers.add_parser(
         "bench", help="time the agent vs vectorised backends and write BENCH_core.json"
@@ -238,13 +288,18 @@ def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
 def _command_run(args: argparse.Namespace) -> int:
     try:
         spec = _spec_from_args(args)
-        result = run_scenario(spec)
+        store = _store_from_args(args)
+        result = run_scenario(spec, store=store)
     except (ValueError, KeyError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except OSError as error:
         print(f"error: cannot read {args.config}: {error}", file=sys.stderr)
         return 2
+    if store is not None:
+        # Stderr, so cached and fresh runs keep bit-identical stdout.
+        outcome = "hit" if store.session["hits"] else "miss (stored)"
+        print(f"cache {outcome}: key {spec.key()[:12]} in {store.root}", file=sys.stderr)
     if args.json:
         print(json.dumps({"spec": spec.to_dict(), "result": result.as_dict()}, indent=2))
         return 0
@@ -283,8 +338,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
     try:
         with open(args.config) as handle:
             sweep = Sweep.from_dict(json.load(handle))
+        store = _store_from_args(args)
         runner = SweepRunner(
-            parallel=not args.serial, max_workers=args.workers, chunksize=args.chunksize
+            parallel=not args.serial,
+            max_workers=args.workers,
+            chunksize=args.chunksize,
+            store=store,
         )
         result = runner.run(sweep)
     except (ValueError, KeyError, TypeError) as error:
@@ -295,9 +354,45 @@ def _command_sweep(args: argparse.Namespace) -> int:
         return 2
     text = result.render()
     print(text)
+    if store is not None:
+        # After the table (and never in --output) so the written table is
+        # bit-identical between the cold run and a fully-cached re-run.
+        print(
+            f"cache: {result.cache_hits()}/{len(result)} cells cached, "
+            f"{result.executed()} executed (store: {store.root})"
+        )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text + "\n")
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    store = ResultStore(args.cache_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        rows = [
+            ["root", stats["root"]],
+            ["schema version", stats["schema_version"]],
+            ["entries", stats["entries"]],
+            ["stale entries", stats["stale_entries"]],
+            ["total bytes", stats["total_bytes"]],
+            ["lifetime hits", stats["lifetime_hits"]],
+        ]
+        for protocol, count in stats["by_protocol"].items():
+            rows.append([f"entries [{protocol}]", count])
+        print(render_table(["result store", "value"], rows))
+        return 0
+    if args.action == "prune":
+        try:
+            removed = store.prune(older_than_days=args.older_than)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"pruned {removed} entries from {store.root}")
+        return 0
+    removed = store.clear()
+    print(f"cleared {removed} entries from {store.root}")
     return 0
 
 
@@ -317,6 +412,7 @@ def _command_experiments(args: argparse.Namespace) -> int:
         only=args.only,
         include_ablations=not args.no_ablations,
         backend=args.backend,
+        store=_store_from_args(args),
     )
     text = report.text()
     print(text)
@@ -391,6 +487,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_sweep(args)
     if args.command == "list":
         return _command_list(args)
+    if args.command == "cache":
+        return _command_cache(args)
     if args.command == "experiments":
         return _command_experiments(args)
     if args.command == "bench":

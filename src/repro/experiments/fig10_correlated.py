@@ -76,12 +76,15 @@ def run_fig10(
     include_full_transfer: bool = True,
     seed: int = 0,
     backend: str = "vectorized",
+    store=None,
 ) -> Fig10Result:
     """Run both panels of the Figure 10 experiment (scaled to ``n_hosts``).
 
     Every (λ, variant) pair is one declarative scenario executed through the
     backend layer; panel (b) runs the ``push-sum-revert-full-transfer``
-    protocol.
+    protocol.  An optional :class:`repro.store.ResultStore` makes
+    regeneration incremental — touching one protocol re-runs only the
+    curves whose code fingerprint changed.
     """
     if failure_round >= rounds:
         raise ValueError("failure_round must fall inside the simulated rounds")
@@ -115,7 +118,7 @@ def run_fig10(
             backend=backend,
             name=f"fig10 lambda={reversion:g} ({mode})",
         )
-        run = run_scenario(spec)
+        run = run_scenario(spec, store=store)
         return run.errors(), run.truths()
 
     for index, reversion in enumerate(lambdas):

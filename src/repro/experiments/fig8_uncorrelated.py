@@ -104,12 +104,15 @@ def run_fig8(
     mode: str = "pushpull",
     seed: int = 0,
     backend: str = "vectorized",
+    store=None,
 ) -> Fig8Result:
     """Run the Figure 8 experiment (scaled to ``n_hosts``).
 
     Each λ curve is one declarative scenario executed through the backend
     layer (``backend="vectorized"`` by default; pass ``"agent"`` to
-    cross-check against the per-host engine at small populations).
+    cross-check against the per-host engine at small populations).  With a
+    :class:`repro.store.ResultStore`, curves whose spec is unchanged come
+    out of the cache instead of re-simulating.
     """
     if failure_round >= rounds:
         raise ValueError("failure_round must fall inside the simulated rounds")
@@ -137,7 +140,7 @@ def run_fig8(
             backend=backend,
             name=f"fig8 lambda={reversion:g}",
         )
-        run = run_scenario(spec)
+        run = run_scenario(spec, store=store)
         result.errors[float(reversion)] = run.errors()
         if index == 0:
             result.truths = run.truths()

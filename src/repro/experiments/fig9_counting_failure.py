@@ -98,12 +98,14 @@ def run_fig9(
     bits: int = 20,
     seed: int = 0,
     backend: str = "vectorized",
+    store=None,
 ) -> Fig9Result:
     """Run the Figure 9 experiment (scaled to ``n_hosts``).
 
     Both variants are declarative scenarios executed through the backend
     layer — the same sketch with the propagation-limiting cutoff on
-    (``"default"``) and off (``"off"``).
+    (``"default"``) and off (``"off"``).  An optional
+    :class:`repro.store.ResultStore` makes regeneration incremental.
     """
     if failure_round >= rounds:
         raise ValueError("failure_round must fall inside the simulated rounds")
@@ -134,7 +136,7 @@ def run_fig9(
             backend=backend,
             name=f"fig9 propagation limiting {'on' if name == 'limited' else 'off'}",
         )
-        run = run_scenario(spec)
+        run = run_scenario(spec, store=store)
         if name == "limited":
             result.limited_errors = run.errors()
             result.truths = run.truths()

@@ -249,6 +249,7 @@ def run_all_experiments(
     only: Optional[List[str]] = None,
     include_ablations: bool = True,
     backend: str = "vectorized",
+    store=None,
 ) -> ExperimentReport:
     """Run the selected experiments and return their results plus rendered text.
 
@@ -265,6 +266,12 @@ def run_all_experiments(
         ``"vectorized"`` (default), ``"agent"`` or ``"auto"``.  Fig 6 reads
         raw kernel state and always runs vectorised; Fig 11 replays contact
         traces and always runs on the agent engine.
+    store:
+        Optional :class:`repro.store.ResultStore`; the scenario-backed
+        figures (fig8/9/10) then serve unchanged curves from the cache, so
+        regenerating the report after touching one protocol re-simulates
+        only the affected figures.  Fig 6 (raw kernel state) and Fig 11
+        (trace replay outside the spec layer) always execute.
     """
     if profile not in PROFILES:
         raise ValueError(f"unknown profile {profile!r}; expected one of {sorted(PROFILES)}")
@@ -281,15 +288,15 @@ def run_all_experiments(
         report.results["fig6"] = result
         report.rendered["fig6"] = render_fig6(result)
     if wanted("fig8"):
-        result = run_fig8(seed=seed, backend=backend, **config["fig8"])
+        result = run_fig8(seed=seed, backend=backend, store=store, **config["fig8"])
         report.results["fig8"] = result
         report.rendered["fig8"] = render_fig8(result)
     if wanted("fig9"):
-        result = run_fig9(seed=seed, backend=backend, **config["fig9"])
+        result = run_fig9(seed=seed, backend=backend, store=store, **config["fig9"])
         report.results["fig9"] = result
         report.rendered["fig9"] = render_fig9(result)
     if wanted("fig10"):
-        result = run_fig10(seed=seed, backend=backend, **config["fig10"])
+        result = run_fig10(seed=seed, backend=backend, store=store, **config["fig10"])
         report.results["fig10"] = result
         report.rendered["fig10"] = render_fig10(result)
     if wanted("fig11"):

@@ -35,13 +35,21 @@ __all__ = [
     "run_core_benchmark",
     "render_benchmark",
     "write_benchmark",
+    "compare_benchmarks",
+    "render_comparison",
     "main",
     "DEFAULT_SIZES",
     "SMOKE_SIZES",
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "DEFAULT_MIN_SECONDS",
 ]
 
-#: Populations timed by the full benchmark.
-DEFAULT_SIZES = (1_000, 10_000, 100_000)
+#: Populations timed by the full benchmark.  This MUST remain a superset
+#: of :data:`SMOKE_SIZES`: the CI ``bench-gate`` job compares a smoke run
+#: against the committed ``BENCH_core.json``, so a baseline regenerated
+#: with the plain default configuration has to contain the smoke cells
+#: (``tests/test_bench_compare.py`` pins the subset relation).
+DEFAULT_SIZES = (256, 1_000, 1_024, 10_000, 100_000)
 #: Populations timed by ``--smoke`` (seconds-long; used in CI).
 SMOKE_SIZES = (256, 1_024)
 
@@ -267,6 +275,180 @@ def write_benchmark(payload: Dict[str, object], path: str) -> None:
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Regression comparison (the CI bench-gate; see benchmarks/compare_bench.py)
+# ---------------------------------------------------------------------------
+
+#: A record counts as a regression when its mean time grows by more than
+#: this factor over the baseline.  2x absorbs machine-to-machine variance
+#: between the committed baseline and the CI runner while still catching
+#: the an-order-of-magnitude slowdowns a broken kernel produces.
+DEFAULT_REGRESSION_THRESHOLD = 2.0
+
+#: Records whose *baseline* mean is below this many seconds are reported
+#: but never gated on: sub-5ms cells are dominated by timer noise and
+#: interpreter warm-up, not by the code under test.
+DEFAULT_MIN_SECONDS = 0.005
+
+
+def _record_key(record: Dict[str, object]):
+    """The identity of one benchmark cell across payloads."""
+    return (
+        record["protocol"],
+        record["backend"],
+        int(record["n_hosts"]),
+        int(record["rounds"]),
+    )
+
+
+def compare_benchmarks(
+    baseline: Dict[str, object],
+    candidate: Dict[str, object],
+    *,
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> Dict[str, object]:
+    """Compare two benchmark payloads record by record.
+
+    Records are matched on (protocol, backend, n_hosts, rounds) and their
+    ``mean_seconds`` compared; a matched record whose baseline mean is at
+    least ``min_seconds`` and whose candidate/baseline ratio exceeds
+    ``threshold`` is a regression.  Cells present on only one side are
+    listed but never gate (the smoke configuration times a subset of the
+    committed baseline's sizes).
+
+    Returns a report dict: ``rows`` (one per matched record, with
+    ``ratio`` and ``status`` in {"ok", "fast", "noise", "REGRESSION"}),
+    ``regressions``, ``compared``, ``baseline_only`` / ``candidate_only``.
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must be > 1.0 (a slowdown factor)")
+    if min_seconds < 0:
+        raise ValueError("min_seconds must be >= 0")
+    baseline_records = {_record_key(r): r for r in baseline.get("records", [])}
+    candidate_records = {_record_key(r): r for r in candidate.get("records", [])}
+
+    rows: List[Dict[str, object]] = []
+    regressions: List[Dict[str, object]] = []
+    for key in sorted(baseline_records.keys() & candidate_records.keys(), key=str):
+        base_mean = float(baseline_records[key]["mean_seconds"])
+        cand_mean = float(candidate_records[key]["mean_seconds"])
+        ratio = cand_mean / base_mean if base_mean > 0 else float("inf")
+        if base_mean < min_seconds:
+            status = "noise"
+        elif ratio > threshold:
+            status = "REGRESSION"
+        elif ratio < 1.0 / threshold:
+            status = "fast"
+        else:
+            status = "ok"
+        row = {
+            "protocol": key[0],
+            "backend": key[1],
+            "n_hosts": key[2],
+            "rounds": key[3],
+            "baseline_mean_seconds": base_mean,
+            "candidate_mean_seconds": cand_mean,
+            "ratio": ratio,
+            "status": status,
+        }
+        rows.append(row)
+        if status == "REGRESSION":
+            regressions.append(row)
+    return {
+        "threshold": threshold,
+        "min_seconds": min_seconds,
+        "rows": rows,
+        "regressions": regressions,
+        "compared": len(rows),
+        "baseline_only": sorted(baseline_records.keys() - candidate_records.keys(), key=str),
+        "candidate_only": sorted(candidate_records.keys() - baseline_records.keys(), key=str),
+    }
+
+
+def render_comparison(report: Dict[str, object]) -> str:
+    """The comparison as an aligned table plus a one-line verdict."""
+    rows = [
+        [
+            row["protocol"],
+            row["backend"],
+            row["n_hosts"],
+            round(row["baseline_mean_seconds"], 4),
+            round(row["candidate_mean_seconds"], 4),
+            f"{row['ratio']:.2f}x",
+            row["status"],
+        ]
+        for row in report["rows"]
+    ]
+    table = render_table(
+        ["protocol", "backend", "hosts", "baseline (s)", "candidate (s)", "ratio", "status"],
+        rows,
+    )
+    lines = [
+        f"Benchmark comparison ({report['compared']} matched records, "
+        f"gate > {report['threshold']:g}x on cells >= {report['min_seconds']:g}s)",
+        table,
+    ]
+    unmatched = len(report["baseline_only"]) + len(report["candidate_only"])
+    if unmatched:
+        lines.append(f"\n{unmatched} record(s) present on one side only (not gated).")
+    regressions = report["regressions"]
+    if regressions:
+        worst = max(regressions, key=lambda row: row["ratio"])
+        lines.append(
+            f"\nFAIL: {len(regressions)} regression(s); worst is "
+            f"{worst['protocol']}/{worst['backend']}/n={worst['n_hosts']} "
+            f"at {worst['ratio']:.2f}x the baseline."
+        )
+    else:
+        lines.append("\nOK: no per-record slowdown beyond the threshold.")
+    return "\n".join(lines)
+
+
+def run_compare_command(args: argparse.Namespace) -> int:
+    """Body of ``benchmarks/compare_bench.py`` (exit 0 ok, 1 regression, 2 usage)."""
+    payloads = []
+    for path in (args.baseline, args.candidate):
+        try:
+            with open(path) as handle:
+                payloads.append(json.load(handle))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read benchmark payload {path}: {error}", file=sys.stderr)
+            return 2
+    try:
+        report = compare_benchmarks(
+            payloads[0], payloads[1], threshold=args.threshold, min_seconds=args.min_seconds
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_comparison(report))
+    if report["compared"] == 0:
+        print(
+            "error: the payloads share no benchmark records "
+            "(nothing to gate on — were they produced by different configurations?)",
+            file=sys.stderr,
+        )
+        return 2
+    return 1 if report["regressions"] else 0
+
+
+def add_compare_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the comparison flags (used by benchmarks/compare_bench.py)."""
+    parser.add_argument("baseline", help="committed benchmark payload (e.g. BENCH_core.json)")
+    parser.add_argument("candidate", help="freshly measured payload to check")
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_REGRESSION_THRESHOLD,
+        help=f"per-record slowdown factor that fails the gate "
+             f"(default {DEFAULT_REGRESSION_THRESHOLD:g}x)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
+        help=f"ignore records whose baseline mean is below this "
+             f"(default {DEFAULT_MIN_SECONDS:g}s; timer noise)",
+    )
 
 
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:

@@ -224,6 +224,80 @@ class SimulationResult:
             ],
         }
 
+    # -------------------------------------------------------- full round-trip
+    def to_payload(self) -> dict:
+        """A lossless JSON-friendly representation of the whole trajectory.
+
+        Unlike :meth:`as_dict` (the CLI's trimmed view), the payload keeps
+        every :class:`RoundRecord` field — including ``max_abs_error``,
+        ``mean_abs_error``, stored per-host ``estimates`` and
+        ``group_sizes`` — so :meth:`from_payload` rebuilds a result equal
+        to the original bit for bit (floats round-trip exactly through
+        ``repr``-fidelity JSON).  This is the blob format of
+        :class:`repro.store.ResultStore`.
+        """
+        return {
+            "protocol_name": self.protocol_name,
+            "aggregate": self.aggregate,
+            "seed": self.seed,
+            "metadata": dict(self.metadata),
+            "rounds": [
+                {
+                    "round_index": record.round_index,
+                    "truth": record.truth,
+                    "n_alive": record.n_alive,
+                    "mean_estimate": record.mean_estimate,
+                    "stddev_error": record.stddev_error,
+                    "max_abs_error": record.max_abs_error,
+                    "mean_abs_error": record.mean_abs_error,
+                    "bytes_sent": record.bytes_sent,
+                    "estimates": None
+                    if record.estimates is None
+                    else {str(host): value for host, value in record.estimates.items()},
+                    "group_sizes": record.group_sizes,
+                    "messages_delivered": record.messages_delivered,
+                    "messages_lost": record.messages_lost,
+                    "messages_in_flight": record.messages_in_flight,
+                }
+                for record in self.rounds
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_payload` output (exact inverse)."""
+        if not isinstance(payload, dict):
+            raise TypeError(f"expected a payload dict, got {type(payload).__name__}")
+        rounds = []
+        for entry in payload["rounds"]:
+            estimates = entry.get("estimates")
+            rounds.append(
+                RoundRecord(
+                    round_index=int(entry["round_index"]),
+                    truth=entry["truth"],
+                    n_alive=int(entry["n_alive"]),
+                    mean_estimate=entry["mean_estimate"],
+                    stddev_error=entry["stddev_error"],
+                    max_abs_error=entry["max_abs_error"],
+                    mean_abs_error=entry["mean_abs_error"],
+                    bytes_sent=int(entry["bytes_sent"]),
+                    estimates=None
+                    if estimates is None
+                    else {int(host): value for host, value in estimates.items()},
+                    group_sizes=entry.get("group_sizes"),
+                    messages_delivered=int(entry.get("messages_delivered", 0)),
+                    messages_lost=int(entry.get("messages_lost", 0)),
+                    messages_in_flight=int(entry.get("messages_in_flight", 0)),
+                )
+            )
+        return cls(
+            protocol_name=payload["protocol_name"],
+            aggregate=payload["aggregate"],
+            seed=int(payload["seed"]),
+            rounds=rounds,
+            metadata=dict(payload.get("metadata") or {}),
+        )
+
     # ------------------------------------------------------------- utilities
     @staticmethod
     def stddev_from_truth(estimates: Sequence[float], truth: float) -> float:

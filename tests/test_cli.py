@@ -172,6 +172,104 @@ class TestSweepCommand:
         assert "final_error" in output.read_text()
 
 
+class TestCacheFlags:
+    """The result-store surface: run/sweep --cache-dir and the cache subcommand."""
+
+    def sweep_config(self, tmp_path):
+        import json
+
+        config = tmp_path / "sweep.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "base": {"protocol": "push-sum-revert", "n_hosts": 40, "rounds": 5},
+                    "axes": {"seed": [0, 1, 2]},
+                }
+            )
+        )
+        return str(config)
+
+    def test_run_cache_hit_keeps_stdout_identical(self, tmp_path, capsys):
+        argv = [
+            "run", "--protocol", "push-sum-revert", "--hosts", "40", "--rounds", "5",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "cache miss (stored)" in cold.err
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert "cache hit" in warm.err
+        assert warm.out == cold.out
+
+    def test_no_cache_overrides_cache_dir(self, tmp_path, capsys):
+        argv = [
+            "run", "--protocol", "push-sum-revert", "--hosts", "40", "--rounds", "5",
+            "--cache-dir", str(tmp_path / "cache"), "--no-cache",
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "cache" not in captured.err
+        assert not (tmp_path / "cache").exists()
+
+    def test_sweep_warm_rerun_reports_all_cached_and_matches(self, tmp_path, capsys):
+        config = self.sweep_config(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        cold_out, warm_out = tmp_path / "cold.txt", tmp_path / "warm.txt"
+        base = ["sweep", "--config", config, "--serial", "--cache-dir", cache_dir]
+
+        assert main(base + ["--output", str(cold_out)]) == 0
+        cold = capsys.readouterr()
+        assert "cache: 0/3 cells cached, 3 executed" in cold.out
+
+        assert main(base + ["--output", str(warm_out)]) == 0
+        warm = capsys.readouterr()
+        assert "cache: 3/3 cells cached, 0 executed" in warm.out
+        # The written table is bit-identical between cold and warm runs.
+        assert warm_out.read_bytes() == cold_out.read_bytes()
+
+    def test_cache_stats_prune_clear(self, tmp_path, capsys):
+        config = self.sweep_config(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", "--config", config, "--serial", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        stats = capsys.readouterr().out
+        assert "entries" in stats and "push-sum-revert" in stats
+
+        assert main(["cache", "prune", "--cache-dir", cache_dir]) == 0
+        assert "pruned 0 entries" in capsys.readouterr().out
+
+        assert main(["cache", "prune", "--cache-dir", cache_dir, "--older-than", "0"]) == 0
+        assert "pruned 3 entries" in capsys.readouterr().out
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared 0 entries" in capsys.readouterr().out
+
+    def test_cache_prune_rejects_negative_age(self, tmp_path, capsys):
+        exit_code = main(
+            ["cache", "prune", "--cache-dir", str(tmp_path / "c"), "--older-than", "-1"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "older_than_days" in captured.err
+
+    def test_experiments_accept_cache_dir(self, tmp_path, capsys):
+        argv = [
+            "experiments", "--profile", "quick", "--only", "fig9", "--no-ablations",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        from repro.store import ResultStore
+
+        assert len(ResultStore(str(tmp_path / "cache"))) == 2  # fig9's two variants
+
+
 class TestListCommand:
     def test_list_prints_registries(self, capsys):
         exit_code = main(["list"])
