@@ -24,7 +24,10 @@ In-Network Aggregation* (Kennedy, Koch, Demers; ICDE 2009).  It provides:
 * pluggable execution backends (``repro.api.backends``) — every scenario
   runs on the per-host ``"agent"`` engine or on NumPy ``"vectorized"``
   kernels; the default ``backend="auto"`` picks the kernels whenever the
-  scenario's combination is supported (orders of magnitude faster at the
+  scenario's combination is supported — including the graph topologies
+  (``ring``, ``grid``, ``random-geometric``, ``erdos-renyi``,
+  ``spatial-grid``), which sample peers through the sparse CSR adjacency
+  layer of ``repro.simulator.sparse`` (orders of magnitude faster at the
   paper's populations — ``repro-aggregate bench`` measures it and writes
   ``BENCH_core.json``);
 * lossy and latent network models (``repro.network``) — the paper assumes

@@ -5,11 +5,14 @@ module decides *how*.  Two backends are registered:
 
 * ``"agent"`` — the reference per-host engine (:class:`repro.Simulation`).
   Runs every protocol over every environment; the only backend for trace
-  and neighbourhood environments, group-relative errors, joins and churn.
+  environments, joins and churn.
 * ``"vectorized"`` — the NumPy kernels of :mod:`repro.simulator.vectorized`.
-  Orders of magnitude faster (see ``BENCH_core.json``), restricted to
-  uniform gossip and the protocols with a kernel; the backend of the
-  paper's large population sweeps (Figs 6, 8, 9, 10).
+  Orders of magnitude faster (see ``BENCH_core.json``); covers uniform
+  gossip *and* the static graph topologies (``ring``, ``grid``,
+  ``random-geometric``, ``erdos-renyi``, ``spatial-grid``) via the
+  sparse-adjacency samplers of :mod:`repro.simulator.sparse`, for every
+  protocol with a kernel; the backend of the paper's large population
+  sweeps (Figs 6, 8, 9, 10) and its Section IV-A spatial scenarios.
 
 ``backend="auto"`` (the spec default) picks the vectorised backend whenever
 the scenario's (protocol, environment, failure, workload) combination is
@@ -25,13 +28,19 @@ to agree in distribution on every supported combination.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+import inspect
+import json
+from collections import OrderedDict
+from functools import lru_cache
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.api.registry import FAILURES, PROTOCOLS, Registry
+from repro.api.registry import ENVIRONMENTS, FAILURES, PROTOCOLS, Registry, _grid_dimensions
 from repro.failures.models import CorrelatedFailure, ExplicitFailure, UncorrelatedFailure
 from repro.simulator.result import RoundRecord, SimulationResult
+from repro.simulator.sparse import CSRTopology, GridRingTopology
+from repro.topology.graphs import erdos_renyi_edges, grid_edges, ring_lattice_edges
 from repro.simulator.vectorized import (
     VectorizedCountSketchReset,
     VectorizedExtrema,
@@ -55,46 +64,87 @@ __all__ = [
 #: The pseudo-backend resolved per scenario at run time.
 AUTO = "auto"
 
+@lru_cache(maxsize=None)
+def _environment_default(environment: str, param: str):
+    """The registered environment factory's default for ``param``.
+
+    The factories in :mod:`repro.api.registry` are the single source of
+    truth for parameter defaults; the edge fast paths below must resolve
+    omitted parameters from the same place or the two backends would run
+    different graphs for the same spec.
+    """
+    return inspect.signature(ENVIRONMENTS.get(environment)).parameters[param].default
+
+
+#: Memoised static topologies keyed by (environment, params JSON, n_hosts).
+#: Every topology environment is deterministic given its parameters (the
+#: random generators take an explicit ``graph_seed``), so reuse is sound;
+#: a multi-seed sweep over one graph then builds it exactly once.  The
+#: samplers' internal caches are keyed by alive mask, so sharing one
+#: topology across kernels is safe.
+_TOPOLOGY_CACHE: "OrderedDict[Tuple[str, str, int], Tuple[object, str]]" = OrderedDict()
+_TOPOLOGY_CACHE_SIZE = 8
+
 #: Failure models the vectorised event loop can apply.
 _VECTOR_FAILURE_MODELS = ("uncorrelated", "correlated", "explicit")
+
+#: Environments with a vectorised peer sampler: uniform gossip plus the
+#: static graph topologies realised by :mod:`repro.simulator.sparse`
+#: (trace and neighbourhood environments stay agent-only).
+_VECTOR_ENVIRONMENTS = (
+    "uniform",
+    "ring",
+    "grid",
+    "random-geometric",
+    "erdos-renyi",
+    "spatial-grid",
+)
 
 #: Protocols whose kernels take a Bernoulli ``loss`` probability, so the
 #: common lossy case still resolves to the fast path under ``"auto"``.
 _LOSSY_KERNEL_PROTOCOLS = frozenset({"push-sum-revert", "push-sum-revert-full-transfer"})
 
 #: Per-protocol kernel capabilities: accepted constructor parameters, the
-#: engine modes the kernel can realise, and whether the kernel carries
-#: per-host values (needed by correlated failures and value changes).
+#: engine modes the kernel can realise, whether the kernel carries
+#: per-host values (needed by correlated failures and value changes), and
+#: whether it accepts a :mod:`~repro.simulator.sparse` topology (only
+#: Full-Transfer's multi-parcel fan-out is uniform-only).
 _KERNEL_TABLE: Dict[str, Dict[str, object]] = {
     "push-sum-revert": {
         "params": frozenset({"reversion", "adaptive"}),
         "modes": ("exchange", "push"),
         "has_values": True,
+        "topology": True,
     },
     "push-sum-revert-full-transfer": {
         "params": frozenset({"reversion", "parcels", "history"}),
         "modes": ("push",),
         "has_values": True,
+        "topology": False,
     },
     "count-sketch-reset": {
         "params": frozenset({"bins", "bits", "cutoff", "identifiers_per_host"}),
         "modes": ("exchange", "push"),
         "has_values": False,
+        "topology": True,
     },
     "sketch-count": {
         "params": frozenset({"bins", "bits", "identifiers_per_host"}),
         "modes": ("exchange", "push"),
         "has_values": False,
+        "topology": True,
     },
     "extrema-gossip": {
         "params": frozenset({"maximum"}),
         "modes": ("exchange",),
         "has_values": True,
+        "topology": True,
     },
     "extrema-reset": {
         "params": frozenset({"maximum", "cutoff"}),
         "modes": ("exchange",),
         "has_values": True,
+        "topology": True,
     },
 }
 
@@ -143,13 +193,24 @@ class VectorizedBackend(ExecutionBackend):
 
     # ------------------------------------------------------------ capability
     def supports(self, spec: "ScenarioSpec") -> Optional[str]:
-        if spec.environment != "uniform":
+        entry = _KERNEL_TABLE.get(spec.protocol)
+        if spec.environment not in _VECTOR_ENVIRONMENTS:
+            known = ", ".join(repr(name) for name in _VECTOR_ENVIRONMENTS)
             return (
                 f"environment {spec.environment!r} is not vectorised "
-                "(only 'uniform' gossip has kernels)"
+                f"(vectorised environments: {known})"
             )
-        if spec.group_relative:
-            return "group-relative error accounting requires the agent engine"
+        if spec.environment != "uniform" and entry is not None and not entry["topology"]:
+            return (
+                f"protocol {spec.protocol!r} is only vectorised under uniform gossip "
+                f"(its kernel takes no topology); environment {spec.environment!r} "
+                "requires the agent engine"
+            )
+        if spec.group_relative and spec.environment == "uniform":
+            return (
+                "group-relative error accounting needs an environment that defines "
+                "groups (ring, grid, random-geometric, erdos-renyi or spatial-grid)"
+            )
         if spec.network != "perfect":
             if spec.network != "bernoulli-loss":
                 return (
@@ -163,7 +224,6 @@ class VectorizedBackend(ExecutionBackend):
                     f"protocol {spec.protocol!r} under a lossy network requires "
                     "the agent engine"
                 )
-        entry = _KERNEL_TABLE.get(spec.protocol)
         if entry is None:
             supported = ", ".join(sorted(_KERNEL_TABLE))
             return f"protocol {spec.protocol!r} has no vectorised kernel (kernels: {supported})"
@@ -196,16 +256,89 @@ class VectorizedBackend(ExecutionBackend):
         return None
 
     # ---------------------------------------------------------- construction
-    def build_kernel(self, spec: "ScenarioSpec"):
+    @staticmethod
+    def build_topology(spec: "ScenarioSpec"):
+        """``(topology, environment_class_name)`` for ``spec``.
+
+        Ring, grid and Erdős–Rényi environments build straight from their
+        edge enumerations (:func:`~repro.topology.graphs.ring_lattice_edges`
+        / :func:`~repro.topology.graphs.grid_edges` /
+        :func:`~repro.topology.graphs.erdos_renyi_edges` — the same arrays
+        the adjacency-map factories are built from, with omitted parameters
+        resolved from the registered factory signatures, so both backends
+        see the identical graph); every other topology is constructed
+        *through the registered environment factory*, which also keeps
+        ``graph_seed``-style randomness identical across backends.  Static
+        topologies are memoised per (environment, params, n_hosts) — a
+        multi-seed sweep over one graph builds it once.  Uniform gossip
+        needs no topology and returns ``(None, "UniformEnvironment")``
+        without building anything.
+        """
+        if spec.environment == "uniform":
+            return None, "UniformEnvironment"
+        key = (
+            spec.environment,
+            json.dumps(spec.environment_params, sort_keys=True),
+            spec.n_hosts,
+        )
+        cached = _TOPOLOGY_CACHE.get(key)
+        if cached is not None:
+            _TOPOLOGY_CACHE.move_to_end(key)
+            return cached
+        params = spec.environment_params
+
+        def default(name):
+            return params.get(name, _environment_default(spec.environment, name))
+
+        if spec.environment == "ring":
+            u, v = ring_lattice_edges(spec.n_hosts, k=int(default("k")))
+            built = CSRTopology.from_edges(u, v, spec.n_hosts), "NeighborhoodEnvironment"
+        elif spec.environment == "grid":
+            width, height = _grid_dimensions(
+                spec.n_hosts, params.get("width"), params.get("height")
+            )
+            u, v = grid_edges(width, height, diagonal=bool(default("diagonal")))
+            built = CSRTopology.from_edges(u, v, spec.n_hosts), "NeighborhoodEnvironment"
+        elif spec.environment == "erdos-renyi":
+            u, v = erdos_renyi_edges(
+                spec.n_hosts, float(default("p")), seed=int(default("graph_seed"))
+            )
+            built = CSRTopology.from_edges(u, v, spec.n_hosts), "NeighborhoodEnvironment"
+        else:
+            from repro.environments import SpatialGridEnvironment
+
+            environment = spec.build_environment()
+            if isinstance(environment, SpatialGridEnvironment):
+                # The 1/d² long links are realised by the distance-ring
+                # sampler (the environment's walk=False idealisation; the
+                # hop-by-hop walk approximates it — DESIGN.md §10).
+                topology = GridRingTopology(
+                    environment.width,
+                    environment.height,
+                    max_distance=environment.max_distance,
+                )
+            else:
+                topology = CSRTopology.from_adjacency(environment.adjacency, spec.n_hosts)
+            built = topology, type(environment).__name__
+        _TOPOLOGY_CACHE[key] = built
+        while len(_TOPOLOGY_CACHE) > _TOPOLOGY_CACHE_SIZE:
+            _TOPOLOGY_CACHE.popitem(last=False)
+        return built
+
+    def build_kernel(self, spec: "ScenarioSpec", topology=None):
         """The configured kernel for ``spec`` (validates support eagerly).
 
         Exposed publicly for experiments that need raw kernel state — the
         Figure 6 counter CDFs read ``counter_values_for_bit`` — while still
         routing construction through the backend's dispatch rules.
+        ``topology`` short-circuits :meth:`build_topology` when the caller
+        already built one (the run loop reuses it for group accounting).
         """
         reason = self.supports(spec)
         if reason is not None:
             raise ValueError(f"backend 'vectorized' cannot run this scenario: {reason}")
+        if topology is None and spec.environment != "uniform":
+            topology, _environment_name = self.build_topology(spec)
         params = spec._resolved_protocol_params()
         loss = _network_loss(spec)
         if spec.protocol == "push-sum-revert":
@@ -215,6 +348,7 @@ class VectorizedBackend(ExecutionBackend):
                 mode="pushpull" if spec.mode == "exchange" else "push",
                 adaptive=bool(params.get("adaptive", False)),
                 loss=loss,
+                topology=topology,
                 seed=spec.seed,
             )
         if spec.protocol == "push-sum-revert-full-transfer":
@@ -233,6 +367,7 @@ class VectorizedBackend(ExecutionBackend):
                 bits=int(params.get("bits", 24)),
                 identifiers_per_host=int(params.get("identifiers_per_host", 1)),
                 pull=spec.mode == "exchange",
+                topology=topology,
                 seed=spec.seed,
             )
             if "cutoff" in params:
@@ -247,6 +382,7 @@ class VectorizedBackend(ExecutionBackend):
                 bits=int(params.get("bits", 32)),
                 identifiers_per_host=int(params.get("identifiers_per_host", 1)),
                 pull=spec.mode == "exchange",
+                topology=topology,
                 seed=spec.seed,
             )
         # extrema-gossip / extrema-reset (reset defaults to the agent cutoff of 15)
@@ -255,12 +391,17 @@ class VectorizedBackend(ExecutionBackend):
             spec.build_values(),
             maximum=bool(params.get("maximum", True)),
             cutoff=cutoff,
+            topology=topology,
             seed=spec.seed,
         )
 
     # -------------------------------------------------------------- execution
     def run(self, spec: "ScenarioSpec") -> SimulationResult:
-        kernel = self.build_kernel(spec)
+        reason = self.supports(spec)
+        if reason is not None:
+            raise ValueError(f"backend 'vectorized' cannot run this scenario: {reason}")
+        topology, environment_name = self.build_topology(spec)
+        kernel = self.build_kernel(spec, topology=topology)
         values = getattr(kernel, "initial", getattr(kernel, "own", None))
         if values is None and any(
             entry["event"] == "failure" and entry["model"] == "correlated"
@@ -280,7 +421,7 @@ class VectorizedBackend(ExecutionBackend):
             seed=spec.seed,
             metadata={
                 "mode": spec.mode,
-                "environment": "UniformEnvironment",
+                "environment": environment_name,
                 "n_initial": spec.n_hosts,
                 "protocol_params": dict(spec.protocol_params),
                 "backend": self.name,
@@ -353,17 +494,22 @@ class VectorizedBackend(ExecutionBackend):
     @staticmethod
     def _record_round(kernel, spec: "ScenarioSpec", t: int) -> RoundRecord:
         estimates = kernel.estimates()
-        truth = kernel.truth()
         n_alive = int(kernel.alive.sum())
-        if estimates.size:
-            deltas = estimates - truth
+        group_sizes: Optional[float] = None
+        if spec.group_relative:
+            truth, deltas, group_sizes = VectorizedBackend._group_relative_errors(
+                kernel, spec, estimates
+            )
+        else:
+            truth = kernel.truth()
+            deltas = estimates - truth if estimates.size else estimates
+        if deltas.size:
             stddev_error = float(np.sqrt(np.mean(deltas**2)))
             max_abs_error = float(np.max(np.abs(deltas)))
             mean_abs_error = float(np.mean(np.abs(deltas)))
-            mean_estimate = float(np.mean(estimates))
         else:
             stddev_error = max_abs_error = mean_abs_error = float("nan")
-            mean_estimate = float("nan")
+        mean_estimate = float(np.mean(estimates)) if estimates.size else float("nan")
         stored: Optional[Dict[int, float]] = None
         if spec.store_estimates:
             alive_idx = np.nonzero(kernel.alive)[0]
@@ -378,8 +524,44 @@ class VectorizedBackend(ExecutionBackend):
             mean_abs_error=mean_abs_error,
             bytes_sent=0,
             estimates=stored,
-            group_sizes=None,
+            group_sizes=group_sizes,
         )
+
+    @staticmethod
+    def _group_relative_errors(kernel, spec: "ScenarioSpec", estimates: np.ndarray):
+        """Per-host error against the host's *group* aggregate (Fig 11 rule).
+
+        Groups are the connected components of the live-induced topology
+        (:meth:`~repro.simulator.sparse._Topology.component_labels`, cached
+        per alive mask, so steady-state rounds pay only array gathers).
+        Mirrors the agent engine's accounting: each host is scored against
+        its own component's aggregate, the recorded truth is the host-mean
+        of those group truths, and ``group_sizes`` is the mean component
+        size.
+        """
+        alive_idx = np.nonzero(kernel.alive)[0]
+        if alive_idx.size == 0:
+            return float("nan"), np.array([], dtype=float), 0.0
+        labels, sizes = kernel.topology.component_labels(kernel.alive)
+        live_labels = labels[alive_idx]
+        kind = _aggregate_kind(spec)
+        if kind == "count":
+            group_truth = sizes.astype(float)
+        else:
+            values = np.asarray(kernel._host_values(), dtype=float)[alive_idx]
+            if kind == "average":
+                group_sums = np.bincount(live_labels, weights=values, minlength=sizes.size)
+                group_truth = group_sums / np.maximum(sizes, 1)
+            else:  # max / min (no kernel aggregates sums today)
+                fill = -np.inf if kind == "max" else np.inf
+                group_truth = np.full(sizes.size, fill, dtype=float)
+                extremum = np.maximum if kind == "max" else np.minimum
+                extremum.at(group_truth, live_labels, values)
+        truth_per_host = group_truth[live_labels]
+        deltas = estimates - truth_per_host
+        truth = float(truth_per_host.mean())
+        group_sizes = float(sizes.mean()) if sizes.size else 0.0
+        return truth, deltas, group_sizes
 
 
 def _network_loss(spec: "ScenarioSpec") -> float:

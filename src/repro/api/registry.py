@@ -202,7 +202,7 @@ def _register_builtins() -> None:
         PerfectNetwork,
         StackedNetwork,
     )
-    from repro.topology import grid_graph, random_geometric_graph, ring_lattice
+    from repro.topology import erdos_renyi_graph, grid_graph, random_geometric_graph, ring_lattice
     from repro.workloads import (
         clustered_values,
         constant_values,
@@ -245,6 +245,12 @@ def _register_builtins() -> None:
     def _random_geometric(n_hosts: int, *, radius: float = 0.15, graph_seed: int = 0):
         adjacency, _positions = random_geometric_graph(n_hosts, radius, seed=graph_seed)
         return NeighborhoodEnvironment(adjacency)
+
+    @register_environment("erdos-renyi")
+    def _erdos_renyi(n_hosts: int, *, p: float = 0.1, graph_seed: int = 0):
+        # Seed-deterministic G(n, p): the same (n, p, graph_seed) triple
+        # yields the same graph on every backend and every machine.
+        return NeighborhoodEnvironment(erdos_renyi_graph(n_hosts, p, seed=graph_seed))
 
     @register_environment("spatial-grid")
     def _spatial_grid(n_hosts: int, *, width: Optional[int] = None, height: Optional[int] = None,

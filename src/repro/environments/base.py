@@ -71,10 +71,16 @@ class GossipEnvironment(abc.ABC):
     def _sample_distinct(
         candidates: Sequence[int], count: int, rng: np.random.Generator
     ) -> List[int]:
-        """Sample up to ``count`` distinct entries of ``candidates``."""
+        """Sample up to ``count`` distinct entries of ``candidates``.
+
+        The returned order is always random — even when every candidate is
+        taken.  Callers routinely use only the first entry (exchange mode
+        gossips with ``peers[0]``), so returning a low-degree host's
+        candidates in adjacency order would make it gossip with the same
+        neighbour every round.
+        """
         if not candidates or count <= 0:
             return []
-        if count >= len(candidates):
-            return list(candidates)
-        picks = rng.choice(len(candidates), size=count, replace=False)
+        size = min(count, len(candidates))
+        picks = rng.choice(len(candidates), size=size, replace=False)
         return [candidates[int(index)] for index in picks]

@@ -75,11 +75,19 @@ class SpatialGridEnvironment(GossipEnvironment):
     def _random_walk(
         self, start: int, length: int, alive: Set[int], rng: np.random.Generator
     ) -> Optional[int]:
+        """Endpoint of a ``length``-step walk over live hosts, or ``None``.
+
+        A walk that dead-ends before completing its sampled length must
+        *fail* the attempt (so the caller re-draws a distance), not return
+        the dead-end host: keeping truncated endpoints over-weights short
+        distances next to failed regions and distorts the 1/d² long-link
+        distribution.
+        """
         current = start
         for _ in range(length):
             steps = [n for n in self.adjacency[current] if n in alive]
             if not steps:
-                break
+                return None
             current = steps[int(rng.integers(0, len(steps)))]
         return current if current != start else None
 

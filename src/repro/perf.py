@@ -59,13 +59,23 @@ SMOKE_SIZES = (256, 1_024)
 AGENT_SIZE_CAPS = {
     "push-sum-revert": 10_000,
     "push-sum-revert-lossy": 10_000,
+    "push-sum-revert-ring": 10_000,
+    "push-sum-revert-grid": 10_000,
     "count-sketch-reset": 2_000,
 }
 
 #: Protocol cells timed by default: the two dynamic protocols on a perfect
-#: network plus the lossy-network variant (Bernoulli loss exercises the
-#: delivery layer on the agent engine and the loss path in the kernel).
-DEFAULT_PROTOCOLS = ("push-sum-revert", "count-sketch-reset", "push-sum-revert-lossy")
+#: network, the lossy-network variant (Bernoulli loss exercises the
+#: delivery layer on the agent engine and the loss path in the kernel),
+#: and two topology-restricted rows (ring and grid gossip through the
+#: sparse-adjacency samplers of :mod:`repro.simulator.sparse`).
+DEFAULT_PROTOCOLS = (
+    "push-sum-revert",
+    "count-sketch-reset",
+    "push-sum-revert-lossy",
+    "push-sum-revert-ring",
+    "push-sum-revert-grid",
+)
 
 
 @dataclass
@@ -124,6 +134,20 @@ def _bench_spec(protocol: str, n_hosts: int, rounds: int, backend: str, seed: in
             mode="push",
             network="bernoulli-loss",
             network_params={"p": 0.2},
+            n_hosts=n_hosts,
+            rounds=rounds,
+            seed=seed,
+            events=(failure,),
+            backend=backend,
+            name=f"bench {protocol} n={n_hosts} ({backend})",
+        )
+    if protocol in ("push-sum-revert-ring", "push-sum-revert-grid"):
+        # The topology rows: identical protocol work routed through the
+        # sparse-adjacency peer samplers (ring lattice / 2-D grid).
+        return ScenarioSpec(
+            protocol="push-sum-revert",
+            protocol_params={"reversion": 0.1},
+            environment="ring" if protocol.endswith("ring") else "grid",
             n_hosts=n_hosts,
             rounds=rounds,
             seed=seed,

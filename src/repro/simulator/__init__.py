@@ -13,7 +13,10 @@ exchange with them.  This package provides that substrate:
 * :mod:`repro.simulator.engine` — the :class:`Simulation` driver;
 * :mod:`repro.simulator.result` — per-round records and summaries;
 * :mod:`repro.simulator.vectorized` — NumPy kernels used for the large
-  (10^4–10^5 host) uniform-gossip experiments.
+  (10^4–10^5 host) experiments;
+* :mod:`repro.simulator.sparse` — sparse-adjacency (CSR) peer sampling
+  that lets the kernels run graph-restricted gossip (ring, grid,
+  random-geometric, spatial-grid) instead of uniform gossip.
 """
 
 from repro.simulator.engine import Simulation
@@ -22,11 +25,14 @@ from repro.simulator.message import BandwidthMeter, Message
 from repro.simulator.protocol import AggregationProtocol, ExchangeProtocol
 from repro.simulator.result import RoundRecord, SimulationResult
 from repro.simulator.rng import RandomStreams
+from repro.simulator.sparse import CSRTopology, GridRingTopology
 
 __all__ = [
     "AggregationProtocol",
     "BandwidthMeter",
+    "CSRTopology",
     "ExchangeProtocol",
+    "GridRingTopology",
     "Host",
     "Message",
     "RandomStreams",

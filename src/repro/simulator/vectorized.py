@@ -1,16 +1,23 @@
-"""Vectorised NumPy kernels for large uniform-gossip experiments.
+"""Vectorised NumPy kernels for large gossip experiments.
 
 The agent-based engine (:mod:`repro.simulator.engine`) is the reference
 implementation: it runs any protocol over any environment with per-host
 objects, which is ideal for the small trace-driven populations of Fig 11
-but too slow for the 10⁴–10⁵-host uniform-gossip sweeps of Figs 6, 8, 9
-and 10.  The kernels here re-implement the uniform-gossip protocols —
-Push-Sum-Revert (with all its optimisations), Count-Sketch-Reset, static
-FM Sketch-Count and extrema gossip (with and without freshness reset) —
-as array programs over the whole population, restricted to the uniform
-environment.  Unit tests cross-check the kernels against the agent-based
-implementations on small populations, and the backend layer
-(:mod:`repro.api.backends`) dispatches declarative scenarios onto them.
+but too slow for the 10⁴–10⁵-host sweeps of Figs 6, 8, 9 and 10.  The
+kernels here re-implement the gossip protocols — Push-Sum-Revert (with
+all its optimisations), Count-Sketch-Reset, static FM Sketch-Count and
+extrema gossip (with and without freshness reset) — as array programs
+over the whole population.  Unit tests cross-check the kernels against
+the agent-based implementations on small populations, and the backend
+layer (:mod:`repro.api.backends`) dispatches declarative scenarios onto
+them.
+
+Peer selection is pluggable: by default gossip is *uniform* (any live
+host may contact any other), but every kernel except Full-Transfer also
+accepts a ``topology`` — a :class:`~repro.simulator.sparse.CSRTopology`
+or :class:`~repro.simulator.sparse.GridRingTopology` — and then samples
+partners from the graph instead of the whole population, which is what
+runs the paper's Section IV-A grid-restricted scenarios at kernel speed.
 
 Differences from the agent engine worth knowing about:
 
@@ -18,7 +25,10 @@ Differences from the agent engine worth knowing about:
   round (every host takes part in exactly one pairwise exchange), rather
   than "every host contacts one random peer" with incidental collisions.
   Both schemes mix mass at the same rate and the matching form vectorises
-  exactly.
+  exactly.  Under a topology the matching runs along sampled graph edges
+  (:meth:`~repro.simulator.sparse._Topology.sample_matching`), so hosts
+  whose neighbourhood is exhausted simply sit the round out — like an
+  agent-engine host whose ``select_peers`` comes back empty.
 * failures are applied by masking hosts out; their mass/counters simply
   stop participating, which is precisely the silent-departure semantics.
 """
@@ -58,6 +68,24 @@ def _geometric_identifier_mask(
         owned_bits = np.minimum(rng.geometric(0.5, size=n) - 1, bits - 1)
         mask[np.arange(n), owned_bins, owned_bits] = True
     return mask
+
+
+def _draw_push_targets(
+    topology, alive_idx: np.ndarray, alive: np.ndarray, rng: np.random.Generator
+):
+    """``(senders, targets)`` for one "everyone contacts one peer" round.
+
+    Uniform gossip draws a random live host per sender (self-contact
+    allowed, as in the agent engine); topology-restricted gossip draws a
+    random live graph neighbour, and hosts whose live neighbourhood is
+    empty drop out of the round (the agent engine's isolated-host rule).
+    """
+    if topology is None:
+        targets = alive_idx[rng.integers(0, alive_idx.size, size=alive_idx.size)]
+        return alive_idx, targets
+    drawn = topology.sample_peers(alive_idx, alive, rng)
+    has_peer = drawn >= 0
+    return alive_idx[has_peer], drawn[has_peer]
 
 
 def _prefix_rank(image: np.ndarray, bits: int) -> np.ndarray:
@@ -194,6 +222,11 @@ class VectorizedPushSumRevert(_ValueKernel):
         atomic pairwise exchange simply not happen (no mass at risk),
         matching the agent engine's exchange semantics.  ``loss=0`` draws
         no extra randomness, so it is bit-identical to the lossless kernel.
+    topology:
+        Optional :mod:`~repro.simulator.sparse` topology restricting who
+        may gossip with whom (push and pushpull modes; Full-Transfer's
+        multi-parcel fan-out is uniform-only).  ``None`` keeps the
+        uniform behaviour bit for bit.
     seed:
         Randomness seed.
     """
@@ -208,6 +241,7 @@ class VectorizedPushSumRevert(_ValueKernel):
         history: int = 3,
         adaptive: bool = False,
         loss: float = 0.0,
+        topology=None,
         seed: int = 0,
     ):
         if mode not in ("push", "pushpull", "full-transfer"):
@@ -218,10 +252,20 @@ class VectorizedPushSumRevert(_ValueKernel):
             raise ValueError("loss must be in [0, 1]")
         if parcels < 1 or history < 1:
             raise ValueError("parcels and history must be >= 1")
+        if topology is not None and mode == "full-transfer":
+            raise ValueError(
+                "full-transfer mode is uniform-only; topology-restricted "
+                "gossip supports the push and pushpull modes"
+            )
         self.initial = np.asarray(list(values), dtype=float)
         self.n = self.initial.size
         if self.n < 1:
             raise ValueError("need at least one host")
+        if topology is not None and topology.n != self.n:
+            raise ValueError(
+                f"topology covers {topology.n} hosts but the kernel has {self.n}"
+            )
+        self.topology = topology
         self.reversion = float(reversion)
         self.mode = mode
         self.parcels = int(parcels)
@@ -269,10 +313,14 @@ class VectorizedPushSumRevert(_ValueKernel):
         self.round_index += 1
 
     def _step_matching(self, alive_idx: np.ndarray) -> None:
-        order = self.rng.permutation(alive_idx)
-        pair_count = order.size // 2
-        left = order[:pair_count]
-        right = order[pair_count : 2 * pair_count]
+        if self.topology is not None:
+            left, right = self.topology.sample_matching(alive_idx, self.alive, self.rng)
+        else:
+            order = self.rng.permutation(alive_idx)
+            pair_count = order.size // 2
+            left = order[:pair_count]
+            right = order[pair_count : 2 * pair_count]
+        pair_count = left.size
         if self.loss > 0.0:
             # A lossy link makes the atomic exchange not happen: the pair
             # keeps its masses untouched (no mass is ever at risk here).
@@ -289,22 +337,26 @@ class VectorizedPushSumRevert(_ValueKernel):
         self.total[right] = mean_total
 
     def _step_push(self, alive_idx: np.ndarray) -> None:
-        targets = alive_idx[self.rng.integers(0, alive_idx.size, size=alive_idx.size)]
-        outgoing_weight = self.weight[alive_idx] / 2.0
-        outgoing_total = self.total[alive_idx] / 2.0
+        # Hosts whose live neighbourhood is empty drop out of `senders` and
+        # keep their whole mass (the agent engine's isolated-host rule).
+        senders, targets = _draw_push_targets(self.topology, alive_idx, self.alive, self.rng)
+        outgoing_weight = self.weight[senders] / 2.0
+        outgoing_total = self.total[senders] / 2.0
         new_weight = np.zeros(self.n, dtype=float)
         new_total = np.zeros(self.n, dtype=float)
+        new_weight[alive_idx] = self.weight[alive_idx]
+        new_total[alive_idx] = self.total[alive_idx]
         # Half the mass stays home, half lands at the target (which may be the
         # sender itself — self-selection is allowed in uniform push gossip).
-        np.add.at(new_weight, alive_idx, outgoing_weight)
-        np.add.at(new_total, alive_idx, outgoing_total)
+        new_weight[senders] -= outgoing_weight
+        new_total[senders] -= outgoing_total
         if self.loss > 0.0:
             # The pushed halves traverse the network; each is lost
             # independently and its mass leaves the system for good.
-            kept = self.rng.random(alive_idx.size) >= self.loss
+            kept = self.rng.random(senders.size) >= self.loss
             targets = targets[kept]
             self.mass_lost += float(outgoing_weight[~kept].sum())
-            self.messages_lost += int(alive_idx.size - targets.size)
+            self.messages_lost += int(senders.size - targets.size)
             outgoing_weight = outgoing_weight[kept]
             outgoing_total = outgoing_total[kept]
         self.messages_delivered += int(targets.size)
@@ -421,6 +473,9 @@ class VectorizedCountSketchReset(_VectorizedKernel):
     pull:
         Whether the contacted peer responds with its own array (recommended
         by the paper; on by default).
+    topology:
+        Optional :mod:`~repro.simulator.sparse` topology restricting who
+        may gossip with whom; ``None`` keeps uniform gossip bit for bit.
     seed:
         Randomness seed.
     """
@@ -434,6 +489,7 @@ class VectorizedCountSketchReset(_VectorizedKernel):
         cutoff: Optional[Callable[[int], float]] = default_cutoff,
         identifiers_per_host: int = 1,
         pull: bool = True,
+        topology=None,
         seed: int = 0,
     ):
         if n < 1:
@@ -442,6 +498,9 @@ class VectorizedCountSketchReset(_VectorizedKernel):
             raise ValueError("bins and bits must be >= 1")
         if identifiers_per_host < 1:
             raise ValueError("identifiers_per_host must be >= 1")
+        if topology is not None and topology.n != n:
+            raise ValueError(f"topology covers {topology.n} hosts but the kernel has {n}")
+        self.topology = topology
         self.n = int(n)
         self.bins = int(bins)
         self.bits = int(bits)
@@ -488,16 +547,19 @@ class VectorizedCountSketchReset(_VectorizedKernel):
         live_counters[live_own] = 0
         self.counters[alive_idx] = live_counters
         # Phase 2: gossip.  Each live host sends its array to one random live
-        # peer; receivers take the element-wise min.  With pull enabled the
-        # sender also merges the (pre-round) array of its target.
+        # peer (a live graph neighbour under a topology); receivers take the
+        # element-wise min.  With pull enabled the sender also merges the
+        # (pre-round) array of its target.
         if alive_idx.size >= 2:
-            targets = alive_idx[self.rng.integers(0, alive_idx.size, size=alive_idx.size)]
+            senders, targets = _draw_push_targets(
+                self.topology, alive_idx, self.alive, self.rng
+            )
             before = self.counters.copy() if self.pull else None
-            np.minimum.at(self.counters, targets, self.counters[alive_idx])
+            np.minimum.at(self.counters, targets, self.counters[senders])
             if self.pull:
                 # Fancy indexing returns copies, so write the merged result
                 # back explicitly rather than relying on an `out=` view.
-                self.counters[alive_idx] = np.minimum(self.counters[alive_idx], before[targets])
+                self.counters[senders] = np.minimum(self.counters[senders], before[targets])
             # Owned positions stay pinned at zero regardless of merges.
             self.counters[self.own_mask & self.alive[:, None, None]] = 0
         self.round_index += 1
@@ -556,6 +618,9 @@ class VectorizedSketchCount(_VectorizedKernel):
         Identifiers registered per host (the estimate divides by this).
     pull:
         Whether the contacted peer responds with its own sketch.
+    topology:
+        Optional :mod:`~repro.simulator.sparse` topology restricting who
+        may gossip with whom; ``None`` keeps uniform gossip bit for bit.
     seed:
         Randomness seed.
     """
@@ -568,6 +633,7 @@ class VectorizedSketchCount(_VectorizedKernel):
         bits: int = 20,
         identifiers_per_host: int = 1,
         pull: bool = True,
+        topology=None,
         seed: int = 0,
     ):
         if n < 1:
@@ -576,6 +642,9 @@ class VectorizedSketchCount(_VectorizedKernel):
             raise ValueError("bins and bits must be >= 1")
         if identifiers_per_host < 1:
             raise ValueError("identifiers_per_host must be >= 1")
+        if topology is not None and topology.n != n:
+            raise ValueError(f"topology covers {topology.n} hosts but the kernel has {n}")
+        self.topology = topology
         self.n = int(n)
         self.bins = int(bins)
         self.bits = int(bits)
@@ -593,11 +662,13 @@ class VectorizedSketchCount(_VectorizedKernel):
         """Execute one gossip round over the live hosts."""
         alive_idx = np.nonzero(self.alive)[0]
         if alive_idx.size >= 2:
-            targets = alive_idx[self.rng.integers(0, alive_idx.size, size=alive_idx.size)]
+            senders, targets = _draw_push_targets(
+                self.topology, alive_idx, self.alive, self.rng
+            )
             before = self.matrix.copy() if self.pull else None
-            np.logical_or.at(self.matrix, targets, self.matrix[alive_idx])
+            np.logical_or.at(self.matrix, targets, self.matrix[senders])
             if self.pull:
-                self.matrix[alive_idx] = np.logical_or(self.matrix[alive_idx], before[targets])
+                self.matrix[senders] = np.logical_or(self.matrix[senders], before[targets])
         self.round_index += 1
 
     # -------------------------------------------------------------- estimates
@@ -627,7 +698,8 @@ class VectorizedExtrema(_ValueKernel):
     the cutoff is dropped in favour of the host's own value.
 
     Gossip is a random perfect matching of the live hosts per round (the
-    same push/pull realisation as :class:`VectorizedPushSumRevert`).
+    same push/pull realisation as :class:`VectorizedPushSumRevert`); with
+    a ``topology`` the matching runs along sampled graph edges instead.
 
     Parameters
     ----------
@@ -637,6 +709,9 @@ class VectorizedExtrema(_ValueKernel):
         Track the maximum (default) or the minimum.
     cutoff:
         Maximum tolerated age in rounds, or ``None`` for the static protocol.
+    topology:
+        Optional :mod:`~repro.simulator.sparse` topology restricting who
+        may gossip with whom; ``None`` keeps uniform gossip bit for bit.
     seed:
         Randomness seed.
     """
@@ -647,6 +722,7 @@ class VectorizedExtrema(_ValueKernel):
         *,
         maximum: bool = True,
         cutoff: Optional[int] = None,
+        topology=None,
         seed: int = 0,
     ):
         self.own = np.asarray(list(values), dtype=float)
@@ -655,6 +731,11 @@ class VectorizedExtrema(_ValueKernel):
             raise ValueError("need at least one host")
         if cutoff is not None and cutoff < 1:
             raise ValueError("cutoff must be >= 1")
+        if topology is not None and topology.n != self.n:
+            raise ValueError(
+                f"topology covers {topology.n} hosts but the kernel has {self.n}"
+            )
+        self.topology = topology
         self.maximum = bool(maximum)
         self.cutoff = None if cutoff is None else int(cutoff)
         self.rng = np.random.default_rng(seed)
@@ -686,12 +767,16 @@ class VectorizedExtrema(_ValueKernel):
             self.best_value[expired] = self.own[expired]
             self.best_id[expired] = expired
             self.best_age[expired] = 0
-        # Pairwise exchange over a random perfect matching.
+        # Pairwise exchange over a random perfect matching (or a matching
+        # along sampled graph edges when a topology restricts gossip).
         if alive_idx.size >= 2:
-            order = self.rng.permutation(alive_idx)
-            pair_count = order.size // 2
-            left = order[:pair_count]
-            right = order[pair_count : 2 * pair_count]
+            if self.topology is not None:
+                left, right = self.topology.sample_matching(alive_idx, self.alive, self.rng)
+            else:
+                order = self.rng.permutation(alive_idx)
+                pair_count = order.size // 2
+                left = order[:pair_count]
+                right = order[pair_count : 2 * pair_count]
             left_better = (
                 self.best_value[left] > self.best_value[right]
                 if self.maximum

@@ -17,8 +17,11 @@ __all__ = [
     "complete_graph",
     "star_graph",
     "ring_lattice",
+    "ring_lattice_edges",
     "grid_graph",
+    "grid_edges",
     "erdos_renyi_graph",
+    "erdos_renyi_edges",
     "random_geometric_graph",
     "grid_positions",
 ]
@@ -61,19 +64,45 @@ def star_graph(n: int, center: int = 0) -> Adjacency:
     return graph
 
 
-def ring_lattice(n: int, k: int = 1) -> Adjacency:
-    """A ring where each node connects to its ``k`` nearest neighbours per side."""
+def _edges_to_adjacency(n: int, u: np.ndarray, v: np.ndarray) -> Adjacency:
+    """An adjacency map from unique undirected edge arrays."""
+    graph = empty_graph(n)
+    for a, b in zip(u.tolist(), v.tolist()):
+        graph[a].add(b)
+        graph[b].add(a)
+    return graph
+
+
+def _dedupe_edges(n: int, u: np.ndarray, v: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Canonical (min, max) unique edges, self-loops dropped."""
+    keep = u != v
+    u, v = u[keep], v[keep]
+    a, b = np.minimum(u, v), np.maximum(u, v)
+    _unique, index = np.unique(a * n + b, return_index=True)
+    return a[index], b[index]
+
+
+def ring_lattice_edges(n: int, k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+    """The unique undirected edges of :func:`ring_lattice`, as arrays.
+
+    This closed-form enumeration is what lets the vectorised backend build
+    a CSR topology for 10⁵-host rings without ever materialising the
+    per-node adjacency sets.
+    """
     _check_count(n)
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    graph = empty_graph(n)
-    for node in range(n):
-        for offset in range(1, k + 1):
-            neighbor = (node + offset) % n
-            if neighbor != node:
-                graph[node].add(neighbor)
-                graph[neighbor].add(node)
-    return graph
+    if n == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty
+    u = np.repeat(np.arange(n, dtype=np.int64), k)
+    offsets = np.tile(np.arange(1, k + 1, dtype=np.int64), n)
+    return _dedupe_edges(n, u, (u + offsets) % n)
+
+
+def ring_lattice(n: int, k: int = 1) -> Adjacency:
+    """A ring where each node connects to its ``k`` nearest neighbours per side."""
+    return _edges_to_adjacency(n, *ring_lattice_edges(n, k))
 
 
 def grid_positions(width: int, height: int) -> Dict[int, Tuple[int, int]]:
@@ -83,6 +112,30 @@ def grid_positions(width: int, height: int) -> Dict[int, Tuple[int, int]]:
     return {row * width + col: (col, row) for row in range(height) for col in range(width)}
 
 
+def grid_edges(
+    width: int, height: int, diagonal: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The unique undirected edges of :func:`grid_graph`, as arrays."""
+    if width < 0 or height < 0:
+        raise ValueError("grid dimensions must be non-negative")
+    n = width * height
+    if n == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty
+    nodes = np.arange(n, dtype=np.int64)
+    col, row = nodes % width, nodes // width
+    offsets = [(1, 0), (0, 1)]
+    if diagonal:
+        offsets += [(1, 1), (1, -1)]
+    sources, targets = [], []
+    for d_col, d_row in offsets:
+        n_col, n_row = col + d_col, row + d_row
+        keep = (n_col >= 0) & (n_col < width) & (n_row >= 0) & (n_row < height)
+        sources.append(nodes[keep])
+        targets.append((n_row * width + n_col)[keep])
+    return _dedupe_edges(n, np.concatenate(sources), np.concatenate(targets))
+
+
 def grid_graph(width: int, height: int, diagonal: bool = False) -> Adjacency:
     """A 2-D grid with 4-connectivity (8-connectivity when ``diagonal``).
 
@@ -90,38 +143,50 @@ def grid_graph(width: int, height: int, diagonal: bool = False) -> Adjacency:
     communicate only with adjacent nodes" setting of the paper's spatial
     gossip discussion (Section IV-A).
     """
-    positions = grid_positions(width, height)
-    n = width * height
-    graph = empty_graph(n)
-    offsets = [(1, 0), (0, 1)]
-    if diagonal:
-        offsets += [(1, 1), (1, -1)]
-    for node, (col, row) in positions.items():
-        for d_col, d_row in offsets:
-            n_col, n_row = col + d_col, row + d_row
-            if 0 <= n_col < width and 0 <= n_row < height:
-                neighbor = n_row * width + n_col
-                graph[node].add(neighbor)
-                graph[neighbor].add(node)
-    return graph
+    return _edges_to_adjacency(width * height, *grid_edges(width, height, diagonal))
+
+
+def erdos_renyi_edges(
+    n: int, p: float, seed: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The unique undirected edges of :func:`erdos_renyi_graph`, as arrays.
+
+    Edges are drawn by geometric skip-sampling over the linearised upper
+    triangle — O(edges) time and memory instead of materialising all
+    n·(n−1)/2 candidate pairs, which is what makes 10⁴–10⁵-host G(n, p)
+    scenarios buildable at all (the dense ``triu_indices`` form needs
+    ~80 GB at n = 10⁵).
+    """
+    _check_count(n)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must be in [0, 1], got {p}")
+    empty = np.array([], dtype=np.int64)
+    if n < 2 or p == 0.0:
+        return empty, empty
+    total = n * (n - 1) // 2
+    if p == 1.0:
+        positions = np.arange(total, dtype=np.int64)
+    else:
+        rng = np.random.default_rng(seed)
+        chunks = []
+        current = np.int64(-1)
+        batch = max(1024, int(p * total * 1.1) + 16)
+        while current < total - 1:
+            gaps = rng.geometric(p, size=batch).astype(np.int64)
+            steps = np.cumsum(gaps) + current
+            chunks.append(steps[steps < total])
+            current = steps[-1]
+        positions = np.concatenate(chunks) if chunks else empty
+    # Decode linear index L to (i, j): row i starts at i·(n−1) − i·(i−1)/2.
+    row_index = np.arange(n, dtype=np.int64)
+    starts = row_index * (n - 1) - (row_index * (row_index - 1)) // 2
+    rows = np.searchsorted(starts, positions, side="right") - 1
+    return rows, rows + 1 + (positions - starts[rows])
 
 
 def erdos_renyi_graph(n: int, p: float, seed: Optional[int] = None) -> Adjacency:
     """G(n, p): each of the n·(n−1)/2 possible edges exists with probability ``p``."""
-    _check_count(n)
-    if not 0.0 <= p <= 1.0:
-        raise ValueError(f"edge probability must be in [0, 1], got {p}")
-    rng = np.random.default_rng(seed)
-    graph = empty_graph(n)
-    if n < 2 or p == 0.0:
-        return graph
-    # Sample the upper triangle in one vectorised draw.
-    i_upper, j_upper = np.triu_indices(n, k=1)
-    mask = rng.random(i_upper.shape[0]) < p
-    for a, b in zip(i_upper[mask], j_upper[mask]):
-        graph[int(a)].add(int(b))
-        graph[int(b)].add(int(a))
-    return graph
+    return _edges_to_adjacency(n, *erdos_renyi_edges(n, p, seed))
 
 
 def random_geometric_graph(

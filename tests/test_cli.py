@@ -330,12 +330,21 @@ class TestBackendFlag:
 
     def test_vectorized_backend_rejects_unsupported_scenario(self, capsys):
         exit_code = main(
-            ["run", "--protocol", "push-sum-revert", "--environment", "ring",
+            ["run", "--protocol", "invert-average", "--environment", "uniform",
              "--hosts", "60", "--rounds", "6", "--backend", "vectorized"]
         )
         captured = capsys.readouterr()
         assert exit_code == 2
-        assert "not vectorised" in captured.err
+        assert "no vectorised kernel" in captured.err
+
+    def test_vectorized_backend_runs_topology_scenario(self, capsys):
+        exit_code = main(
+            ["run", "--protocol", "push-sum-revert", "--environment", "ring",
+             "--hosts", "60", "--rounds", "6", "--backend", "vectorized"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "backend: vectorized" in captured.out or "vectorized" in captured.out
 
     def test_experiments_backend_flag_parses(self):
         args = build_parser().parse_args(["experiments", "--backend", "agent"])

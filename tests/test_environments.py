@@ -105,6 +105,32 @@ class TestNeighborhoodEnvironment:
         assert env.select_peers(2, {0, 1, 2}, 0, 1, rng) == []
 
 
+class TestSampleDistinct:
+    """Regression: peer sampling must stay random when every candidate is taken."""
+
+    def test_full_draw_is_a_random_permutation(self, rng):
+        from repro.environments.base import GossipEnvironment
+
+        candidates = [10, 20, 30, 40]
+        seen_orders = set()
+        for _ in range(60):
+            picks = GossipEnvironment._sample_distinct(candidates, 10, rng)
+            assert sorted(picks) == candidates  # everyone still included
+            seen_orders.add(tuple(picks))
+        # Previously the unshuffled candidate list came back every time;
+        # a random permutation produces many distinct orders in 60 draws.
+        assert len(seen_orders) > 1
+
+    def test_low_degree_host_does_not_always_gossip_first_neighbor(self, rng):
+        # Exchange mode uses peers[0] only, so a degree-2 host whose draw
+        # came back in adjacency order would gossip its lowest-id neighbour
+        # every single round.
+        env = NeighborhoodEnvironment({0: {1, 2}, 1: {0}, 2: {0}})
+        alive = {0, 1, 2}
+        first_peers = {env.select_peers(0, alive, t, 2, rng)[0] for t in range(40)}
+        assert first_peers == {1, 2}
+
+
 class TestSpatialGridEnvironment:
     def test_dimensions_validated(self):
         with pytest.raises(ValueError):
@@ -149,6 +175,43 @@ class TestSpatialGridEnvironment:
         env = SpatialGridEnvironment(2, 2)
         with pytest.raises(ValueError):
             env.register_host(4)
+
+    def test_truncated_walk_fails_the_attempt(self, rng):
+        # Regression: a walk that dead-ends before completing its sampled
+        # length must return None (the attempt is retried with a fresh
+        # distance), NOT the dead-end host — returning the dead end
+        # over-weights short distances next to failed regions and distorts
+        # the 1/d² long-link distribution.  A dead pocket is modelled by
+        # pruning the back edge, the way a directed corridor would look.
+        env = SpatialGridEnvironment(3, 1)  # path 0-1-2
+        env.adjacency[1] = {2}
+        env.adjacency[2] = set()
+        alive = {0, 1, 2}
+        for _ in range(20):
+            # The walk is forced 0 -> 1 -> 2 and then strands with its
+            # remaining steps unspent; host 2 must not be reported.
+            assert env._random_walk(0, 5, alive, rng) is None
+
+    def test_walk_of_completed_length_still_returns_peer(self, rng):
+        env = SpatialGridEnvironment(3, 1)
+        results = {env._random_walk(0, 2, {0, 1, 2}, rng) for _ in range(50)}
+        # A 2-step walk from 0 on the path either returns home (None) or
+        # reaches host 2; both happen, and the dead end never appears.
+        assert results == {None, 2}
+
+    def test_dead_pocket_distribution_not_overweighted(self, rng):
+        # Hosts next to a failed region keep drawing valid long links
+        # rather than collapsing onto the pocket boundary.
+        env = SpatialGridEnvironment(4, 4)
+        alive = set(range(16)) - {5, 6, 9, 10}  # the centre block is dead
+        counts = {}
+        for _ in range(300):
+            for peer in env.select_peers(0, alive, 0, 1, rng):
+                counts[peer] = counts.get(peer, 0) + 1
+        assert set(counts) <= alive - {0}
+        # The surviving ring stays reachable through live-host walks: a
+        # healthy spread of distances shows up, not just hosts 1 and 4.
+        assert len(counts) >= 6
 
 
 def _two_phase_trace():

@@ -241,3 +241,142 @@ class TestAgentVsVectorizedCrossCheck:
         # each other (the sketch randomisation differs, so allow a wide band).
         assert 0.4 * n < agent_estimate < 2.5 * n
         assert 0.4 * n < vector_estimate < 2.5 * n
+
+
+class TestSparseTopologyLayer:
+    """The CSR/grid-ring samplers behind topology-restricted kernels."""
+
+    def _ring_csr(self, n=24, k=2):
+        from repro.simulator.sparse import CSRTopology
+        from repro.topology.graphs import ring_lattice
+
+        return CSRTopology.from_adjacency(ring_lattice(n, k=k), n)
+
+    def test_csr_samples_only_live_neighbors(self):
+        from repro.topology.graphs import ring_lattice
+
+        rng = np.random.default_rng(0)
+        n = 24
+        adjacency = ring_lattice(n, k=2)
+        topo = self._ring_csr(n)
+        alive = np.ones(n, dtype=bool)
+        alive[::4] = False
+        requesters = np.nonzero(alive)[0]
+        for _ in range(20):
+            targets = topo.sample_peers(requesters, alive, rng)
+            for host, target in zip(requesters, targets):
+                if target >= 0:
+                    assert alive[target]
+                    assert int(target) in adjacency[int(host)]
+
+    def test_csr_isolated_host_gets_minus_one(self):
+        from repro.simulator.sparse import CSRTopology
+
+        rng = np.random.default_rng(1)
+        # Host 2 only knows hosts 0 and 1, both of which are dead.
+        topo = CSRTopology.from_adjacency({0: {2}, 1: {2}, 2: {0, 1}, 3: {4}, 4: {3}}, 5)
+        alive = np.array([False, False, True, True, True])
+        targets = topo.sample_peers(np.array([2, 3, 4]), alive, rng)
+        assert targets[0] == -1
+        assert targets[1] == 4 and targets[2] == 3
+
+    def test_matching_is_a_matching_on_graph_edges(self):
+        from repro.topology.graphs import ring_lattice
+
+        rng = np.random.default_rng(2)
+        n = 30
+        adjacency = ring_lattice(n, k=2)
+        topo = self._ring_csr(n)
+        alive = np.ones(n, dtype=bool)
+        for _ in range(10):
+            left, right = topo.sample_matching(np.arange(n), alive, rng)
+            touched = np.concatenate([left, right])
+            assert len(set(touched.tolist())) == touched.size  # vertex-disjoint
+            for a, b in zip(left, right):
+                assert int(b) in adjacency[int(a)]
+
+    def test_grid_ring_respects_distance_law(self):
+        from repro.simulator.sparse import GridRingTopology
+
+        rng = np.random.default_rng(3)
+        topo = GridRingTopology(9, 9)
+        alive = np.ones(81, dtype=bool)
+        center = np.array([40])  # (4, 4)
+        col, row = 4, 4
+        distances = []
+        for _ in range(600):
+            target = int(topo.sample_peers(center, alive, rng)[0])
+            assert target != 40 and target >= 0
+            d = abs(target % 9 - col) + abs(target // 9 - row)
+            distances.append(d)
+        counts = np.bincount(distances, minlength=9)
+        # 1/d² law: distance 1 dominates, long links exist.
+        assert counts[1] > counts[2] > counts[4]
+        assert counts[5:].sum() > 0
+
+    def test_grid_ring_never_returns_dead_hosts(self):
+        from repro.simulator.sparse import GridRingTopology
+
+        rng = np.random.default_rng(4)
+        topo = GridRingTopology(4, 4)
+        alive = np.ones(16, dtype=bool)
+        alive[[5, 6, 9, 10]] = False
+        requesters = np.nonzero(alive)[0]
+        for _ in range(50):
+            targets = topo.sample_peers(requesters, alive, rng)
+            live_targets = targets[targets >= 0]
+            assert alive[live_targets].all()
+
+    def test_components_follow_live_mask_and_cache(self):
+        from repro.topology.graphs import ring_lattice
+        from repro.simulator.sparse import CSRTopology
+
+        topo = CSRTopology.from_adjacency(ring_lattice(12, k=1), 12)
+        alive = np.ones(12, dtype=bool)
+        assert len(topo.components(alive)) == 1
+        assert topo.components(alive) is topo.components(alive)  # cached
+        alive[[0, 6]] = False  # cut the ring twice -> two arcs
+        parts = sorted(sorted(part) for part in topo.components(alive))
+        assert parts == [[1, 2, 3, 4, 5], [7, 8, 9, 10, 11]]
+
+    def test_push_conserves_mass_on_topology(self):
+        from repro.simulator.vectorized import VectorizedPushSumRevert
+
+        topo = self._ring_csr(20)
+        kernel = VectorizedPushSumRevert(
+            uniform_values(20, 0.0, 10.0, seed=5), 0.0, mode="push",
+            topology=topo, seed=5,
+        )
+        for _ in range(30):
+            kernel.step()
+            assert kernel.weight.sum() == pytest.approx(20.0)
+
+    def test_isolated_host_keeps_mass_and_reports_own_value(self):
+        from repro.simulator.sparse import CSRTopology
+        from repro.simulator.vectorized import VectorizedPushSumRevert
+
+        # Host 2 is cut off once 0 and 1 die; its mass must stay put.
+        topo = CSRTopology.from_adjacency({0: {1, 2}, 1: {0, 2}, 2: {0, 1}, 3: {4}, 4: {3}}, 5)
+        kernel = VectorizedPushSumRevert(
+            [1.0, 2.0, 7.0, 3.0, 4.0], 0.0, mode="push", topology=topo, seed=6,
+        )
+        kernel.fail([0, 1])
+        for _ in range(10):
+            kernel.step()
+        estimates = dict(zip(np.nonzero(kernel.alive)[0].tolist(), kernel.estimates()))
+        assert estimates[2] == pytest.approx(7.0)
+        assert kernel.weight[2] == pytest.approx(1.0)
+
+    def test_full_transfer_rejects_topology(self):
+        from repro.simulator.vectorized import VectorizedPushSumRevert
+
+        with pytest.raises(ValueError, match="full-transfer"):
+            VectorizedPushSumRevert(
+                [1.0, 2.0], 0.1, mode="full-transfer", topology=self._ring_csr(2, k=1),
+            )
+
+    def test_population_size_mismatch_rejected(self):
+        from repro.simulator.vectorized import VectorizedPushSumRevert
+
+        with pytest.raises(ValueError, match="covers 24 hosts"):
+            VectorizedPushSumRevert([1.0, 2.0], topology=self._ring_csr(24))
