@@ -6,9 +6,11 @@ from repro.experiments.extensions import (
     render_departure_comparison,
     render_extrema_comparison,
     render_loss_sweep,
+    render_rate_heterogeneity_sweep,
     run_departure_comparison,
     run_extrema_comparison,
     run_loss_sweep,
+    run_rate_heterogeneity_sweep,
 )
 
 
@@ -73,3 +75,30 @@ def test_extension_loss_rate_sweep(benchmark, save_rendering):
     # re-minting lost mass and degrades gracefully.
     assert sketch[0.0] < psr[0.0]
     assert sketch[0.5] > psr[0.5]
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_extension_rate_heterogeneity(benchmark, save_rendering):
+    result = benchmark.pedantic(
+        run_rate_heterogeneity_sweep,
+        kwargs={"n_hosts": 400, "duration": 60.0, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    rendering = render_rate_heterogeneity_sweep(result)
+    save_rendering("extension_rate_heterogeneity", rendering)
+    print("\n" + rendering)
+    psr = result.convergence_seconds["push-sum-revert"]
+    sketch = result.convergence_seconds["count-sketch-reset"]
+    # Every ratio converges within the horizon for both protocols: slow
+    # hosts initiate exchanges rarely, but fast initiators keep sampling
+    # them as responders, so heterogeneity slows mixing without stopping it.
+    assert all(value is not None for value in psr.values())
+    assert all(value is not None for value in sketch.values())
+    # Convergence time stretches with heterogeneity, yet far less than the
+    # slow hosts' gossip period alone would suggest (16x slower clocks do
+    # not cost 16x the homogeneous convergence time).
+    assert psr[16.0] > psr[1.0]
+    assert sketch[16.0] > sketch[1.0]
+    assert psr[16.0] < 16.0 * psr[1.0]
+    assert sketch[16.0] < 16.0 * sketch[1.0]

@@ -22,7 +22,13 @@ This script walks through the library's core workflow both ways:
 6. restrict gossip to a *random-geometric* wireless topology — the spec
    still resolves to the vectorised backend under ``backend="auto"``
    (the kernels sample peers through a sparse CSR adjacency, DESIGN.md
-   §10), so graph-restricted sweeps run at kernel speed too.
+   §10), so graph-restricted sweeps run at kernel speed too;
+7. drop the lockstep-round assumption entirely: ``engine="events"``
+   runs the same protocol on the continuous-time event engine
+   (``repro.events``, DESIGN.md §11), where every host gossips on its
+   own clock — here half the population runs 8× slower than the rest,
+   over a latency network, in exchange mode (a combination the round
+   engine rejects) — and the result gains a simulated-time axis.
 
 The spec also round-trips through JSON, which is exactly what
 ``repro-aggregate run --config`` and ``repro-aggregate sweep`` consume.
@@ -188,6 +194,34 @@ def main() -> None:
         f"\nRandom-geometric topology (radius 0.08, n={N_HOSTS}) on the "
         f"{result.metadata['backend']} backend: final error "
         f"{result.final_error():.2f} vs truth {result.final_truth():.2f}."
+    )
+
+    # Path 7: asynchronous gossip on the event engine (repro.events).
+    # Hosts tick on their own clocks — half at 1 Hz, half at 0.125 Hz —
+    # messages take 0–2 simulated seconds, and push/pull exchanges are
+    # realised as request/reply event pairs, which is why latency ×
+    # exchange is legal here and rejected under engine="rounds".  Records
+    # now carry `time` (seconds), sampled once per second; mass
+    # conservation is checked at every sample.
+    asynchronous = SPEC.replace(
+        name="quickstart-asynchronous-gossip",
+        engine="events",
+        engine_params={
+            "synchronized": False,
+            "rates": {"distribution": "heterogeneous",
+                      "fast": 1.0, "slow": 0.125, "fast_fraction": 0.5},
+        },
+        network="latency",
+        network_params={"distribution": "uniform", "low": 0, "high": 2},
+        events=(),
+    )
+    assert asynchronous.resolved_backend() == "agent"  # no vectorised calendar
+    clocked = run_scenario(asynchronous)
+    print(
+        f"\nEvent engine, heterogeneous clocks (half the hosts 8x slower) over a "
+        f"0-2 s latency network: error {clocked.final_error():.2f} at "
+        f"t={clocked.times()[-1]:.0f} s (vs {dynamic.final_error():.2f} for "
+        f"lockstep rounds).  Example spec: examples/specs/heterogeneous_rates.json."
     )
 
 

@@ -173,7 +173,13 @@ class ExecutionBackend:
 
 
 class AgentBackend(ExecutionBackend):
-    """The reference per-host engine; runs everything a spec can describe."""
+    """The reference per-host engines; run everything a spec can describe.
+
+    Both per-host realisations live here: the lockstep round engine
+    (``engine="rounds"``) and the continuous-time event engine
+    (``engine="events"`` — :class:`repro.events.EventSimulation`, which
+    runs its configured simulated duration rather than a round count).
+    """
 
     name = "agent"
 
@@ -181,7 +187,10 @@ class AgentBackend(ExecutionBackend):
         return None
 
     def run(self, spec: "ScenarioSpec") -> SimulationResult:
-        result = spec.build().run(spec.rounds)
+        if spec.engine == "events":
+            result = spec.build_event_simulation().run()
+        else:
+            result = spec.build().run(spec.rounds)
         result.metadata["backend"] = self.name
         return result
 
@@ -194,6 +203,11 @@ class VectorizedBackend(ExecutionBackend):
     # ------------------------------------------------------------ capability
     def supports(self, spec: "ScenarioSpec") -> Optional[str]:
         entry = _KERNEL_TABLE.get(spec.protocol)
+        if spec.engine == "events":
+            return (
+                "the event-driven engine (engine='events') has no vectorised "
+                "realisation"
+            )
         if spec.environment not in _VECTOR_ENVIRONMENTS:
             known = ", ".join(repr(name) for name in _VECTOR_ENVIRONMENTS)
             return (

@@ -174,7 +174,23 @@ class ScenarioSpec:
         ``"latency"``, ``"bandwidth-cap"`` or ``"stacked"``.  Validation
         is eager: bad parameters fail here, and a latency-capable model
         combined with ``mode="exchange"`` is rejected at construction
-        (atomic push/pull exchanges cannot be deferred).
+        under the round engine (atomic push/pull exchanges cannot be
+        deferred across a round barrier); ``engine="events"`` lifts the
+        rejection by realising an exchange as a request event plus a
+        timed reply event.
+    engine / engine_params:
+        Which simulation engine realises the scenario: ``"rounds"`` (the
+        default — the lockstep :class:`repro.Simulation`) or ``"events"``
+        (the continuous-time :class:`repro.events.EventSimulation`).
+        ``engine_params`` configures the event engine and is rejected
+        under ``engine="rounds"``; accepted keys are ``duration``
+        (simulated seconds, default ``rounds * sample_interval``),
+        ``sample_interval`` (metric cadence in simulated seconds, default
+        ``1.0``), ``rates`` (per-host gossip-rate distribution —
+        ``uniform``, ``heterogeneous`` or ``lognormal``; see
+        :mod:`repro.events.clocks`), ``synchronized`` (host clocks on the
+        global grid, default ``True``) and ``mass_check`` (``"sample"`` /
+        ``"event"`` / ``"off"``).  All validated eagerly.
     events:
         Scheduled membership events as plain dicts, e.g.
         ``{"event": "failure", "round": 20, "model": "uncorrelated",
@@ -206,6 +222,8 @@ class ScenarioSpec:
     workload_params: Dict[str, Any] = field(default_factory=dict)
     network: str = "perfect"
     network_params: Dict[str, Any] = field(default_factory=dict)
+    engine: str = "rounds"
+    engine_params: Dict[str, Any] = field(default_factory=dict)
     events: Tuple[Dict[str, Any], ...] = ()
     group_relative: bool = False
     store_estimates: bool = False
@@ -218,6 +236,7 @@ class ScenarioSpec:
         object.__setattr__(self, "environment_params", _frozen_copy(self.environment_params))
         object.__setattr__(self, "workload_params", _frozen_copy(self.workload_params))
         object.__setattr__(self, "network_params", _frozen_copy(self.network_params))
+        object.__setattr__(self, "engine_params", _frozen_copy(self.engine_params))
         object.__setattr__(
             self, "events", tuple(_validate_event(entry) for entry in self.events)
         )
@@ -229,21 +248,29 @@ class ScenarioSpec:
             raise ValueError(f"rounds must be a positive integer, got {self.rounds!r}")
         if not isinstance(self.seed, int):
             raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        if self.engine not in ("rounds", "events"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected 'rounds' or 'events'"
+            )
+        self._validate_engine_params()
         PROTOCOLS.validate_params(self.protocol, **self.protocol_params)
         ENVIRONMENTS.validate_params(self.environment, self.n_hosts, **self.environment_params)
         WORKLOADS.validate_params(self.workload, self.n_hosts, **self._workload_call_params())
         NETWORKS.validate_params(self.network, **self.network_params)
         # Instantiating the model runs its constructor validation (loss
         # probabilities, delay bounds, stacked layer resolution) eagerly and
-        # tells us whether it can defer delivery — which exchange mode cannot
-        # honour, since an atomic push/pull has no "later".
+        # tells us whether it can defer delivery — which the round engine's
+        # exchange mode cannot honour, since an atomic push/pull has no
+        # "later" inside a lockstep round.  The event engine realises an
+        # exchange as a request event plus a timed reply event, so the
+        # combination is legal there.
         network_model = NETWORKS.create(self.network, **self.network_params)
-        if self.mode == "exchange" and network_model.has_latency:
+        if self.mode == "exchange" and network_model.has_latency and self.engine == "rounds":
             raise ValueError(
                 f"network {self.network!r} can delay message delivery, but "
-                "mode='exchange' performs atomic push/pull exchanges that cannot be "
-                "deferred; use mode='push', or a loss-only network model "
-                "(e.g. 'bernoulli-loss')"
+                "mode='exchange' performs atomic push/pull exchanges the round "
+                "engine cannot defer; use the event engine (engine='events'), "
+                "mode='push', or a loss-only network model (e.g. 'bernoulli-loss')"
             )
         cutoff = self.protocol_params.get("cutoff")
         if self.protocol in _INTEGER_CUTOFF_PROTOCOLS:
@@ -278,6 +305,116 @@ class ScenarioSpec:
         # hash the canonical (key-sorted) JSON form instead so equal specs
         # hash equal regardless of parameter insertion order.
         return hash(json.dumps(self.to_dict(), sort_keys=True))
+
+    def _validate_engine_params(self) -> None:
+        """Eagerly validate :attr:`engine_params` against :attr:`engine`."""
+        params = self.engine_params
+        if self.engine == "rounds":
+            if params:
+                raise ValueError(
+                    f"engine_params {sorted(params)} apply to engine='events' only; "
+                    "the round engine is configured by 'rounds' and 'mode'"
+                )
+            return
+        allowed = {"duration", "sample_interval", "rates", "synchronized", "mass_check"}
+        unknown = set(params) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown engine_params {sorted(unknown)}; expected a subset of {sorted(allowed)}"
+            )
+        sample_interval = params.get("sample_interval", 1.0)
+        if isinstance(sample_interval, bool) or not isinstance(sample_interval, (int, float)) \
+                or sample_interval <= 0:
+            raise ValueError(
+                f"engine_params['sample_interval'] must be a positive number of simulated "
+                f"seconds, got {sample_interval!r}"
+            )
+        duration = params.get("duration", self.rounds * float(sample_interval))
+        if isinstance(duration, bool) or not isinstance(duration, (int, float)) \
+                or duration < sample_interval:
+            raise ValueError(
+                f"engine_params['duration'] must be a number >= the sample interval "
+                f"({sample_interval}), got {duration!r}"
+            )
+        synchronized = params.get("synchronized", True)
+        if not isinstance(synchronized, bool):
+            raise ValueError(
+                f"engine_params['synchronized'] must be a boolean, got {synchronized!r}"
+            )
+        mass_check = params.get("mass_check", "sample")
+        if mass_check not in ("sample", "event", "off"):
+            raise ValueError(
+                f"engine_params['mass_check'] must be 'sample', 'event' or 'off', "
+                f"got {mass_check!r}"
+            )
+        rates = params.get("rates")
+        if rates is None:
+            return
+        if not isinstance(rates, Mapping):
+            raise ValueError(
+                f"engine_params['rates'] must be a mapping with a 'distribution', "
+                f"got {type(rates).__name__}"
+            )
+        distribution = rates.get("distribution", "uniform")
+        if distribution == "uniform":
+            rate_keys = {"distribution", "rate"}
+            rate = rates.get("rate", 1.0)
+            if isinstance(rate, bool) or not isinstance(rate, (int, float)) or rate <= 0:
+                raise ValueError(f"uniform rates need a positive 'rate', got {rate!r}")
+        elif distribution == "heterogeneous":
+            rate_keys = {"distribution", "fast", "slow", "fast_fraction"}
+            for bound in ("fast", "slow"):
+                value = rates.get(bound)
+                if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+                    raise ValueError(
+                        f"heterogeneous rates need a positive {bound!r} rate, got {value!r}"
+                    )
+            fraction = rates.get("fast_fraction", 0.5)
+            if isinstance(fraction, bool) or not isinstance(fraction, (int, float)) \
+                    or not 0.0 <= fraction <= 1.0:
+                raise ValueError(
+                    f"heterogeneous 'fast_fraction' must be in [0, 1], got {fraction!r}"
+                )
+        elif distribution == "lognormal":
+            rate_keys = {"distribution", "mean", "sigma", "min_rate"}
+            sigma = rates.get("sigma", 0.5)
+            if isinstance(sigma, bool) or not isinstance(sigma, (int, float)) or sigma < 0:
+                raise ValueError(f"lognormal 'sigma' must be non-negative, got {sigma!r}")
+            minimum = rates.get("min_rate")
+            if minimum is not None and (
+                isinstance(minimum, bool) or not isinstance(minimum, (int, float)) or minimum <= 0
+            ):
+                raise ValueError(f"lognormal 'min_rate' must be positive, got {minimum!r}")
+        else:
+            from repro.events.clocks import RATE_DISTRIBUTIONS
+
+            raise ValueError(
+                f"unknown rate distribution {distribution!r}; "
+                f"expected one of {RATE_DISTRIBUTIONS}"
+            )
+        unknown_rates = set(rates) - rate_keys
+        if unknown_rates:
+            raise ValueError(
+                f"unknown keys {sorted(unknown_rates)} for {distribution!r} rates; "
+                f"expected a subset of {sorted(rate_keys)}"
+            )
+
+    def engine_settings(self) -> Dict[str, Any]:
+        """The event engine's normalised settings (defaults resolved).
+
+        Only meaningful for ``engine="events"``; the default duration is
+        :attr:`rounds` sample intervals, so a spec switched between
+        engines covers the same number of recorded rounds.
+        """
+        params = self.engine_params
+        sample_interval = float(params.get("sample_interval", 1.0))
+        return {
+            "duration": float(params.get("duration", self.rounds * sample_interval)),
+            "sample_interval": sample_interval,
+            "rates": dict(params.get("rates") or {"distribution": "uniform", "rate": 1.0}),
+            "synchronized": bool(params.get("synchronized", True)),
+            "mass_check": params.get("mass_check", "sample"),
+        }
 
     # ------------------------------------------------------------- construction
     def _workload_call_params(self) -> Dict[str, Any]:
@@ -331,12 +468,42 @@ class ScenarioSpec:
             built.extend(_build_event(entry))
         return built
 
+    def build_event_simulation(self):
+        """A ready-to-run :class:`repro.events.EventSimulation`.
+
+        The event-engine counterpart of :meth:`build`: constructs the
+        continuous-time engine with this spec's components and
+        :meth:`engine_settings`.  Useful directly in tests and notebooks;
+        execution paths should go through :meth:`run` / :func:`run_scenario`,
+        which dispatch on :attr:`engine` automatically.
+        """
+        from repro.events import EventSimulation
+
+        settings = self.engine_settings()
+        return EventSimulation(
+            self.build_protocol(),
+            self.build_environment(),
+            self.build_values(),
+            seed=self.seed,
+            mode=self.mode,
+            events=self.build_events(),
+            network=None if self.network == "perfect" else self.build_network(),
+            group_relative=self.group_relative,
+            store_estimates=self.store_estimates,
+            duration=settings["duration"],
+            sample_interval=settings["sample_interval"],
+            rates=settings["rates"],
+            synchronized=settings["synchronized"],
+            mass_check=settings["mass_check"],
+        )
+
     def build(self) -> Simulation:
         """A ready-to-run :class:`repro.Simulation` (the *agent* realisation).
 
-        This always constructs the per-host engine regardless of
-        :attr:`backend`; use :meth:`run` / :func:`run_scenario` to dispatch
-        through the backend layer.
+        This always constructs the per-host *round* engine regardless of
+        :attr:`backend` / :attr:`engine`; use :meth:`run` /
+        :func:`run_scenario` to dispatch through the backend layer (which
+        routes ``engine="events"`` to :meth:`build_event_simulation`).
         """
         return Simulation(
             self.build_protocol(),
@@ -362,7 +529,8 @@ class ScenarioSpec:
         The key is the SHA-256 of the key-sorted JSON form of the spec —
         every field that can influence the simulation: components and their
         parameters, population, rounds, mode, seed, events, network,
-        ``group_relative`` / ``store_estimates`` — with two normalisations:
+        engine and its parameters, ``group_relative`` / ``store_estimates``
+        — with two normalisations:
 
         * ``name`` is excluded (a label changes reports, never results), and
         * ``backend`` is replaced by :meth:`resolved_backend`, so an

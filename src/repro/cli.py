@@ -144,6 +144,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="network model parameters as a JSON object",
     )
     run.add_argument(
+        "--engine", choices=("rounds", "events"), default=None,
+        help="simulation engine: lockstep rounds (default) or the "
+             "continuous-time event engine (repro.events)",
+    )
+    run.add_argument(
+        "--engine-params", type=_parse_json_object, default=None, metavar="JSON",
+        help="event-engine parameters as a JSON object, e.g. "
+             "'{\"duration\": 120, \"rates\": {\"distribution\": \"heterogeneous\", "
+             "\"fast\": 2.0, \"slow\": 0.25}}'",
+    )
+    run.add_argument(
         "--group-relative", action="store_true", help="measure errors per contact group"
     )
     run.add_argument(
@@ -262,6 +273,8 @@ def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
         "backend": args.backend,
         "network": args.network,
         "network_params": args.network_params,
+        "engine": args.engine,
+        "engine_params": args.engine_params,
     }
     for key, value in overrides.items():
         if value is not None:
@@ -401,6 +414,8 @@ def _command_list(args: argparse.Namespace) -> int:
     for registry in (PROTOCOLS, ENVIRONMENTS, FAILURES, WORKLOADS, NETWORKS):
         for index, key in enumerate(sorted(registry.keys())):
             rows.append([registry.kind if index == 0 else "", key])
+    for index, key in enumerate(("events", "rounds")):
+        rows.append(["engine" if index == 0 else "", key])
     print(render_table(["kind", "name"], rows))
     return 0
 

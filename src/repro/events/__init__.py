@@ -1,0 +1,31 @@
+"""repro.events — the continuous-time event-driven simulation engine.
+
+The round engine (:class:`repro.Simulation`) advances the whole
+population in lockstep; this package advances a *global event calendar*
+instead: per-host clocks with configurable gossip rates, timestamped
+in-flight messages, and protocol adapters that drive the existing
+round-based protocols through timed send/receive/exchange events — which
+is what unlocks latency×exchange scenarios (forbidden in the round
+engine) and rate-heterogeneous populations.
+
+Select it per scenario with ``ScenarioSpec(engine="events",
+engine_params={...})`` — see DESIGN.md §11.
+"""
+
+from repro.events.calendar import DELIVER, MEMBERSHIP, SAMPLE, TICK, EventCalendar
+from repro.events.clocks import RATE_DISTRIBUTIONS, HostClock, draw_rate, make_clock
+from repro.events.engine import MASS_CHECK_MODES, EventSimulation
+
+__all__ = [
+    "DELIVER",
+    "EventCalendar",
+    "EventSimulation",
+    "HostClock",
+    "MASS_CHECK_MODES",
+    "MEMBERSHIP",
+    "RATE_DISTRIBUTIONS",
+    "SAMPLE",
+    "TICK",
+    "draw_rate",
+    "make_clock",
+]

@@ -1,0 +1,227 @@
+"""Protocol adapters: drive round-based protocols through timed events.
+
+Every protocol in the repository was written against the round engine's
+hook contract (``begin_round`` / ``make_payloads`` / ``integrate`` /
+``finalize_round``, or ``exchange``).  The adapters here replay that
+contract from a continuous-time event stream so the protocols run
+*unmodified*:
+
+* :class:`PushAdapter` — a host's clock tick performs one full gossip
+  action: select peers, emit payloads (each planned through the network
+  model into an in-flight message, an instant local delivery, or a
+  loss), then integrate everything sitting in the host's pending inbox
+  and finalize.  ``"deliver"`` events move matured in-flight payloads
+  into pending inboxes between ticks.
+* :class:`ExchangeAdapter` — an atomic push/pull over a latent network
+  becomes a *request leg* plus a *reply leg*: the tick plans the request
+  (``"xreq"`` event after the request delay), the request's arrival
+  plans the reply (``"xdone"`` event), and only when the reply arrives —
+  with both endpoints still alive — does ``protocol.exchange`` run,
+  atomically, on the hosts' *current* states.  No state ever travels
+  inside the messages, so conserved mass is never in flight in exchange
+  mode and the atomicity the round engine could not reconcile with
+  latency (the PR 3 rejection) holds by construction.
+
+Adapters contain no randomness of their own; every draw goes through the
+engine's named streams in tick order, which is what makes the
+unit-delay/synchronized configuration reproduce the round engine's
+trajectories bit for bit (see ``tests/test_events.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Tuple
+
+from repro.events.calendar import DELIVER
+from repro.network.delivery import InFlightMessage
+from repro.simulator.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.events.engine import EventSimulation
+
+__all__ = ["ProtocolAdapter", "PushAdapter", "ExchangeAdapter"]
+
+
+class ProtocolAdapter:
+    """Base adapter: one gossip action per tick, plus timed-event handling."""
+
+    def __init__(self, engine: "EventSimulation"):
+        self.engine = engine
+
+    def on_tick(self, host_id: int, state: Any, time: float, bin_index: int) -> None:
+        """Perform the host's gossip action for one clock tick."""
+        raise NotImplementedError
+
+    def handle(self, event: Tuple, time: float) -> None:
+        """Process one DELIVER-priority calendar event produced by this adapter."""
+        raise NotImplementedError
+
+
+class PushAdapter(ProtocolAdapter):
+    """Message gossip: payloads travel, recipients integrate at their ticks."""
+
+    def on_tick(self, host_id: int, state: Any, time: float, bin_index: int) -> None:
+        engine = self.engine
+        protocol = engine.protocol
+        peers = engine.environment.select_peers(
+            host_id, engine._alive_set, bin_index, protocol.fanout, engine._peer_rng
+        )
+        if engine._track_mass:
+            before = protocol.state_mass(state) or 0.0
+            payloads = protocol.make_payloads(state, peers, engine._protocol_rng)
+            # Mass removed from the state moved into the payloads below;
+            # it is not an injection, so any imbalance is caught as a leak.
+            engine._state_mass += (protocol.state_mass(state) or 0.0) - before
+        else:
+            payloads = protocol.make_payloads(state, peers, engine._protocol_rng)
+        for destination, payload in payloads:
+            target = host_id if destination is None else destination
+            message = Message(host_id, target, payload, bin_index)
+            size = protocol.payload_size(payload)
+            engine.bandwidth.record(message, size)
+            mass = protocol.payload_mass(payload)
+            if message.is_self_message:
+                # Self-messages never touch the radio: straight into the
+                # sender's own pending inbox, integrated this very tick.
+                engine._deliver_payload(host_id, payload, mass, bin_index, count=False)
+                continue
+            if target not in engine._alive_set:
+                engine._record_lost_message(bin_index, mass)
+                continue
+            delay = engine._plan_delay(host_id, target, bin_index, size)
+            if delay is None:
+                engine._record_lost_message(bin_index, mass)
+            elif delay <= 0.0:
+                # Instant arrival: into the pending inbox now (integrated at
+                # the target's next tick — possibly later this same instant).
+                # The delivery meter only runs when a network model does,
+                # matching the round engine's accounting.
+                engine._deliver_payload(
+                    target, payload, mass, bin_index, count=engine.network is not None
+                )
+            else:
+                deliver_time = time + delay
+                engine._in_flight.schedule(
+                    InFlightMessage(
+                        source=host_id,
+                        destination=target,
+                        payload=payload,
+                        sent_round=time,
+                        deliver_round=deliver_time,
+                        mass=mass,
+                    )
+                )
+                engine.calendar.schedule(deliver_time, DELIVER, ("deliver",))
+        self._integrate(host_id, state)
+
+    def _integrate(self, host_id: int, state: Any) -> None:
+        """Fold the host's pending inbox into its state (swap-and-integrate)."""
+        engine = self.engine
+        protocol = engine.protocol
+        inbox = engine._inboxes.pop(host_id, None) or []
+        if engine._track_mass:
+            if inbox:
+                engine._inbox_mass -= sum(
+                    protocol.payload_mass(payload) or 0.0 for payload in inbox
+                )
+            before = protocol.state_mass(state) or 0.0
+            protocol.integrate(state, inbox, engine._protocol_rng)
+            engine._state_mass += (protocol.state_mass(state) or 0.0) - before
+        else:
+            protocol.integrate(state, inbox, engine._protocol_rng)
+
+    def handle(self, event: Tuple, time: float) -> None:
+        # ("deliver",): pop every in-flight message maturing at this instant
+        # (scheduling order).  Several messages maturing at the same instant
+        # each scheduled a calendar event; the first pops the whole batch and
+        # the duplicates harmlessly pop an empty list.
+        engine = self.engine
+        bin_index = engine._sample_bin(time)
+        for item in engine._in_flight.due(time):
+            if item.destination in engine._alive_set:
+                engine._deliver_payload(
+                    item.destination, item.payload, item.mass, bin_index, count=True
+                )
+            else:
+                # Matured at a host that has since departed: lost, just like
+                # the round engine's same-fate rule.
+                engine._record_lost_message(bin_index, item.mass)
+
+
+class ExchangeAdapter(ProtocolAdapter):
+    """Atomic push/pull realised as a request leg plus a timed reply leg."""
+
+    def on_tick(self, host_id: int, state: Any, time: float, bin_index: int) -> None:
+        engine = self.engine
+        protocol = engine.protocol
+        peers = engine.environment.select_peers(
+            host_id, engine._alive_set, bin_index, 1, engine._peer_rng
+        )
+        if not peers:
+            return
+        peer_id = peers[0]
+        if peer_id == host_id or peer_id not in engine._alive_set:
+            return
+        size = protocol.exchange_size(state, engine.hosts[peer_id].state)
+        delay = engine._plan_delay(host_id, peer_id, bin_index, size)
+        if delay is None:
+            # A lossy link makes the exchange not happen at all; the
+            # initiator's transmitted half still cost radio bytes,
+            # mirroring the round engine's lost-exchange accounting.
+            engine.delivery.record_lost(bin_index, 2)
+            engine.bandwidth.record_lost_exchange(bin_index, host_id, size)
+            return
+        engine.bandwidth.record(Message(host_id, peer_id, None, bin_index), size)
+        # Zero-delay legs schedule at the current instant with DELIVER
+        # priority, which pops before the instant's remaining ticks —
+        # deterministic, and the whole exchange completes "now".
+        engine.calendar.schedule(time + delay, DELIVER, ("xreq", host_id, peer_id, size))
+
+    def handle(self, event: Tuple, time: float) -> None:
+        engine = self.engine
+        bin_index = engine._sample_bin(time)
+        if event[0] == "xreq":
+            _, initiator, responder, size = event
+            if responder not in engine._alive_set:
+                engine.delivery.record_lost(bin_index)
+                return
+            engine.delivery.record_delivered(bin_index)
+            # The responder transmits its reply immediately; the reply bytes
+            # go on the radio whether or not the network then loses the leg.
+            engine.bandwidth.record(Message(responder, initiator, None, bin_index), size)
+            delay = engine._plan_delay(responder, initiator, bin_index, size)
+            if delay is None:
+                engine.delivery.record_lost(bin_index)
+                return
+            engine.calendar.schedule(time + delay, DELIVER, ("xdone", initiator, responder))
+            return
+        # ("xdone", initiator, responder): the reply arrived.
+        _, initiator, responder = event
+        if initiator not in engine._alive_set:
+            engine.delivery.record_lost(bin_index)
+            return
+        engine.delivery.record_delivered(bin_index)
+        if responder not in engine._alive_set:
+            # The responder departed after replying; the atomic exchange
+            # needs both endpoints, so nothing reconciles (and no mass was
+            # ever in flight to strand).
+            return
+        protocol = engine.protocol
+        state_a = engine.hosts[initiator].state
+        state_b = engine.hosts[responder].state
+        if engine._track_mass:
+            before = (protocol.state_mass(state_a) or 0.0) + (
+                protocol.state_mass(state_b) or 0.0
+            )
+            protocol.exchange(state_a, state_b, engine._protocol_rng)
+            # An exchange may only *move* mass between the two states; any
+            # net change is a leak the next conservation check reports.
+            engine._state_mass += (
+                (protocol.state_mass(state_a) or 0.0)
+                + (protocol.state_mass(state_b) or 0.0)
+                - before
+            )
+        else:
+            protocol.exchange(state_a, state_b, engine._protocol_rng)
+        engine._received[initiator] = engine._received.get(initiator, 0) + 1
+        engine._received[responder] = engine._received.get(responder, 0) + 1

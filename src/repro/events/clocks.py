@@ -1,0 +1,123 @@
+"""Per-host gossip clocks: rates, periods and deterministic tick times.
+
+The round engine forces every host onto one global drumbeat; the event
+engine gives each host its own clock.  A clock is defined by a *rate*
+(gossip actions per simulated second) drawn from one of three
+distributions, and by whether hosts are *synchronized*:
+
+* ``synchronized=True`` — a host with period ``p = 1/rate`` ticks on the
+  global grid ``k * p`` (``k >= 1``).  With every rate equal and the
+  sample interval matching the period, this reproduces the round
+  engine's lockstep schedule exactly (the equivalence configuration of
+  ``tests/test_events.py``).
+* ``synchronized=False`` — the first tick lands at ``join_time + offset``
+  with a random phase ``offset`` drawn uniformly from ``(0, p]``, and
+  subsequent ticks at ``first + k * p``.  Tick times are computed by
+  multiplication from the stored origin, never by repeated addition, so
+  float error does not accumulate over long runs.
+
+All clock randomness (phase offsets, heterogeneous/lognormal rate draws)
+comes from the dedicated ``"clocks"`` stream of
+:class:`~repro.simulator.rng.RandomStreams`, so configuring clocks never
+perturbs peer selection, protocol or network draws.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["HostClock", "RATE_DISTRIBUTIONS", "draw_rate", "make_clock"]
+
+#: Rate distributions understood by ``engine_params["rates"]``.
+RATE_DISTRIBUTIONS = ("uniform", "heterogeneous", "lognormal")
+
+#: Tolerance used when snapping a join time onto the synchronized grid.
+_GRID_EPS = 1e-9
+
+
+def draw_rate(config: Mapping[str, Any], rng: np.random.Generator) -> float:
+    """One host's gossip rate under the ``rates`` configuration.
+
+    * ``uniform`` — every host gossips at ``rate`` (default ``1.0``);
+      draws nothing, so the default configuration consumes no randomness.
+    * ``heterogeneous`` — ``fast`` with probability ``fast_fraction``
+      (default ``0.5``), else ``slow``; one uniform draw per host.
+    * ``lognormal`` — ``lognormal(mean, sigma)`` actions per second,
+      floored at ``min_rate`` when given; one draw per host.
+
+    Rates are drawn per host in registration order (joining hosts draw at
+    join time), which keeps runs bit-reproducible for equal seeds.
+    """
+    distribution = config.get("distribution", "uniform")
+    if distribution == "uniform":
+        return float(config.get("rate", 1.0))
+    if distribution == "heterogeneous":
+        fast = float(config["fast"])
+        slow = float(config["slow"])
+        fraction = float(config.get("fast_fraction", 0.5))
+        return fast if float(rng.random()) < fraction else slow
+    if distribution == "lognormal":
+        rate = float(rng.lognormal(float(config.get("mean", 0.0)), float(config.get("sigma", 0.5))))
+        minimum = config.get("min_rate")
+        if minimum is not None:
+            rate = max(rate, float(minimum))
+        return rate
+    raise ValueError(
+        f"unknown rate distribution {distribution!r}; expected one of {RATE_DISTRIBUTIONS}"
+    )
+
+
+@dataclass
+class HostClock:
+    """One host's tick schedule: ``next_time() = origin + next_index * period``.
+
+    Synchronized clocks store ``origin = 0`` and start at the first grid
+    index at-or-after the host's join time; unsynchronized clocks store
+    their (random-phase) first tick as the origin and count from zero.
+    """
+
+    host_id: int
+    rate: float
+    period: float
+    origin: float
+    next_index: int
+
+    def next_time(self) -> float:
+        """The simulated time of the next scheduled tick."""
+        return self.origin + self.next_index * self.period
+
+    def advance(self) -> None:
+        """Consume the current tick; :meth:`next_time` moves one period on."""
+        self.next_index += 1
+
+
+def make_clock(
+    host_id: int,
+    rate: float,
+    *,
+    join_time: float,
+    synchronized: bool,
+    rng: np.random.Generator,
+) -> HostClock:
+    """Build the clock for ``host_id`` joining at ``join_time``.
+
+    Synchronized hosts tick on the global grid ``k * period`` with
+    ``k >= 1``; the first tick is the smallest grid point at-or-after the
+    join time (a host joining exactly on a grid point gossips at that
+    very instant, mirroring how the round engine lets a joining host
+    participate in the round it joins).  Unsynchronized hosts draw a
+    phase offset in ``(0, period]`` so an instant-zero burst of the whole
+    population cannot happen.
+    """
+    if rate <= 0:
+        raise ValueError(f"gossip rates must be positive, got {rate!r}")
+    period = 1.0 / float(rate)
+    if synchronized:
+        first_index = max(1, math.ceil(join_time / period - _GRID_EPS))
+        return HostClock(host_id, float(rate), period, 0.0, int(first_index))
+    offset = period * (1.0 - float(rng.random()))
+    return HostClock(host_id, float(rate), period, join_time + offset, 0)

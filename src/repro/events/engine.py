@@ -1,0 +1,365 @@
+"""The continuous-time event-driven simulation engine.
+
+:class:`EventSimulation` replaces the round engine's lockstep loop with a
+global :class:`~repro.events.calendar.EventCalendar`: each host gossips
+on its own :class:`~repro.events.clocks.HostClock`, messages are
+timestamped and travel through a time-keyed
+:class:`~repro.network.DeliveryQueue`, and metrics are *sampled* at a
+fixed simulated-time cadence so the result looks exactly like a round
+engine result to every downstream layer (metrics, analysis, render,
+store).
+
+Event kinds (priority order within one instant — see
+:mod:`repro.events.calendar`):
+
+1. **membership** — scheduled failure/join/value-change events; the
+   event scheduled for round *r* fires at time ``(r + 1) * S`` (sample
+   interval ``S``), which is the instant whose sample records round *r*
+   — exactly the round engine's apply-before-the-round ordering.
+2. **deliver** — matured in-flight payloads move into pending inboxes;
+   exchange request/reply legs progress.
+3. **tick** — one host performs its gossip action via its mode's
+   :mod:`~repro.events.adapters` adapter, then reschedules its clock.
+4. **sample** — sample *j* fires at ``j * S`` and appends a
+   :class:`~repro.simulator.RoundRecord` with ``round_index = j - 1``
+   and ``time = j * S``.
+
+Mass conservation is enforced continuously: the engine keeps running
+totals of the mass at hosts, in pending inboxes, and in flight, and the
+:class:`~repro.network.MassLedger` can be checked after *every* event
+(``mass_check="event"``), at every sample (``"sample"``, the default —
+which also resyncs the running totals against an exact recount) or never
+(``"off"``).
+
+The class subclasses :class:`repro.Simulation` for its population
+management, truth/metric computation and result plumbing — but ``run``
+executes the calendar to the configured ``duration`` and ``step`` is
+meaningless here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.events.adapters import ExchangeAdapter, PushAdapter
+from repro.events.calendar import DELIVER, MEMBERSHIP, SAMPLE, TICK, EventCalendar
+from repro.events.clocks import HostClock, draw_rate, make_clock
+from repro.simulator.engine import Simulation
+from repro.simulator.host import Host
+from repro.simulator.result import SimulationResult
+
+__all__ = ["EventSimulation", "MASS_CHECK_MODES"]
+
+#: Accepted values for the ``mass_check`` engine parameter.
+MASS_CHECK_MODES = ("sample", "event", "off")
+
+#: Slack used when comparing event times against the run duration.
+_TIME_EPS = 1e-9
+
+
+class EventSimulation(Simulation):
+    """Drive one protocol over one environment in continuous simulated time.
+
+    Parameters (beyond :class:`repro.Simulation`'s)
+    -----------------------------------------------
+    duration:
+        Simulated seconds to run.  Defaults to ``rounds``×``sample_interval``
+        worth when built from a :class:`~repro.api.spec.ScenarioSpec`.
+    sample_interval:
+        Simulated seconds between metric samples; sample *j* fires at
+        ``j * sample_interval`` and records ``round_index = j - 1``.
+    rates:
+        The host-clock rate configuration (see
+        :func:`repro.events.clocks.draw_rate`); ``None`` means every host
+        gossips once per second.
+    synchronized:
+        Whether host clocks share the global grid (see
+        :mod:`repro.events.clocks`).
+    mass_check:
+        ``"sample"`` (default), ``"event"`` or ``"off"`` — how often the
+        mass-conservation books are balanced for mass-conserving
+        protocols.
+    """
+
+    #: Exchange mode over a latency network is realised as request/reply
+    #: events, so the round engine's eager rejection does not apply here.
+    _defers_exchange = True
+
+    def __init__(
+        self,
+        protocol,
+        environment,
+        values: Sequence[float],
+        *,
+        seed: int = 0,
+        mode: str = "push",
+        events: Optional[Iterable] = None,
+        network=None,
+        group_relative: bool = False,
+        store_estimates: bool = False,
+        duration: float = 60.0,
+        sample_interval: float = 1.0,
+        rates: Optional[dict] = None,
+        synchronized: bool = True,
+        mass_check: str = "sample",
+    ):
+        if not (isinstance(sample_interval, (int, float)) and sample_interval > 0):
+            raise ValueError(f"sample_interval must be a positive number, got {sample_interval!r}")
+        if not (isinstance(duration, (int, float)) and duration >= sample_interval):
+            raise ValueError(
+                f"duration must be a number >= sample_interval ({sample_interval}), "
+                f"got {duration!r}"
+            )
+        if mass_check not in MASS_CHECK_MODES:
+            raise ValueError(
+                f"unknown mass_check mode {mass_check!r}; expected one of {MASS_CHECK_MODES}"
+            )
+        # Attributes the add_host override consults must exist before the
+        # base constructor registers the initial population.
+        self._event_init_done = False
+        super().__init__(
+            protocol,
+            environment,
+            values,
+            seed=seed,
+            mode=mode,
+            events=events,
+            network=network,
+            group_relative=group_relative,
+            store_estimates=store_estimates,
+        )
+        self.duration = float(duration)
+        self.sample_interval = float(sample_interval)
+        self.synchronized = bool(synchronized)
+        self.mass_check = mass_check
+        self._rates_config = dict(rates) if rates else {"distribution": "uniform", "rate": 1.0}
+        self.calendar = EventCalendar()
+        self._clock_rng = self.streams.get("clocks")
+        self._clocks: Dict[int, HostClock] = {}
+        self._inboxes: Dict[int, List] = {}
+        self._received: Dict[int, int] = {}
+        self._alive_set = set(self.alive_ids())
+        self._now = 0.0
+        self._started = False
+        self._adapter = PushAdapter(self) if mode == "push" else ExchangeAdapter(self)
+
+        # Mass conservation runs whenever the protocol has a conserved
+        # quantity — even without a network model, since payloads rest in
+        # pending inboxes between ticks (unlike the round engine, where
+        # only a network can put mass outside host states).
+        self._track_mass = False
+        if mass_check != "off" and self.hosts:
+            probe = next(iter(self.hosts.values()))
+            if self.protocol.state_mass(probe.state) is not None:
+                self._track_mass = True
+                self.mass_ledger.open(self._total_state_mass())
+        self._state_mass = self._total_state_mass() if self._track_mass else 0.0
+        self._inbox_mass = 0.0
+
+        self.result.metadata["engine"] = {
+            "name": "events",
+            "duration": self.duration,
+            "sample_interval": self.sample_interval,
+            "rates": dict(self._rates_config),
+            "synchronized": self.synchronized,
+            "mass_check": mass_check,
+        }
+
+        # The whole agenda is knowable up front except deliveries: host
+        # first ticks (registration order = host-id order), every sample,
+        # and every scheduled membership event.
+        self._event_init_done = True
+        for host_id in sorted(self.hosts):
+            self._attach_clock(host_id, join_time=0.0)
+        self._n_samples = int(math.floor(self.duration / self.sample_interval + _TIME_EPS))
+        for j in range(1, self._n_samples + 1):
+            self.calendar.schedule(j * self.sample_interval, SAMPLE, ("sample", j))
+        for event in self.events:
+            fire_at = (event.round + 1) * self.sample_interval
+            if fire_at <= self.duration + _TIME_EPS:
+                self.calendar.schedule(fire_at, MEMBERSHIP, ("membership", event))
+
+    # ----------------------------------------------------------- population
+    def add_host(self, value: float, round_index: Optional[int] = None) -> Host:
+        """Create a live host and, mid-run, start its gossip clock."""
+        host = super().add_host(value, round_index)
+        if self._event_init_done:
+            self._alive_set.add(host.host_id)
+            self._attach_clock(host.host_id, join_time=self._now)
+        return host
+
+    def fail_host(self, host_id: int, round_index: Optional[int] = None) -> None:
+        super().fail_host(host_id, round_index)
+        self._alive_set.discard(host_id)
+
+    def _attach_clock(self, host_id: int, *, join_time: float) -> None:
+        rate = draw_rate(self._rates_config, self._clock_rng)
+        clock = make_clock(
+            host_id,
+            rate,
+            join_time=join_time,
+            synchronized=self.synchronized,
+            rng=self._clock_rng,
+        )
+        self._clocks[host_id] = clock
+        first = clock.next_time()
+        if first <= self.duration + _TIME_EPS:
+            self.calendar.schedule(first, TICK, ("tick", host_id))
+
+    # ------------------------------------------------------------------- run
+    def run(self, rounds: Optional[int] = None) -> SimulationResult:
+        """Execute the calendar through ``duration`` simulated seconds.
+
+        The event engine has no notion of "additional rounds": the agenda
+        is the configured duration, so ``rounds`` must be ``None``.
+        """
+        if rounds is not None:
+            raise ValueError(
+                "EventSimulation runs its configured duration; set duration/"
+                "sample_interval via engine_params instead of passing rounds"
+            )
+        if self._started:
+            raise RuntimeError("EventSimulation.run() can only be called once")
+        self._started = True
+        if self.network is not None:
+            self.network.begin_round(0)
+        calendar = self.calendar
+        horizon = self.duration + _TIME_EPS
+        while calendar:
+            time, priority, _seq, event = calendar.pop()
+            if time > horizon:
+                # Everything later stays unprocessed: messages still in
+                # flight remain on the books as in-flight mass.
+                break
+            self._now = time
+            kind = event[0]
+            if kind == "tick":
+                self._on_tick(event[1], time)
+            elif priority == DELIVER:
+                self._adapter.handle(event, time)
+            elif kind == "sample":
+                self._on_sample(event[1], time)
+            else:  # membership
+                self._on_membership(event[1], time)
+            if self._track_mass and self.mass_check == "event":
+                self.mass_ledger.check(
+                    self._observed_mass(), round_index=self._sample_bin(time)
+                )
+        return self.result
+
+    def step(self):  # pragma: no cover - guarded API difference
+        raise NotImplementedError(
+            "the event engine has no per-round step(); use run() to execute "
+            "the full simulated duration"
+        )
+
+    # ---------------------------------------------------------------- events
+    def _on_tick(self, host_id: int, time: float) -> None:
+        host = self.hosts[host_id]
+        if not host.alive:
+            # Dead hosts stop ticking; their clock is never rescheduled.
+            return
+        bin_index = self._sample_bin(time)
+        state = host.state
+        clock = self._clocks[host_id]
+        self._run_state_hook(
+            state,
+            lambda: self.protocol.begin_round(state, bin_index, self._protocol_rng),
+            inject=True,
+        )
+        self._adapter.on_tick(host_id, state, time, bin_index)
+        received = self._received.pop(host_id, 0)
+        self._run_state_hook(
+            state,
+            lambda: self.protocol.finalize_round(state, received, self._protocol_rng),
+            inject=True,
+        )
+        clock.advance()
+        next_time = clock.next_time()
+        if next_time <= self.duration + _TIME_EPS:
+            self.calendar.schedule(next_time, TICK, ("tick", host_id))
+
+    def _on_sample(self, sample_index: int, time: float) -> None:
+        alive = self.alive_ids()
+        round_index = sample_index - 1
+        if self._track_mass:
+            # Exact recount: resyncs the running total (guarding against
+            # float drift over many increments) and balances the books.
+            total = self._total_state_mass()
+            self._state_mass = total
+            self.mass_ledger.check(
+                total + self._in_flight.in_flight_mass + self._inbox_mass,
+                round_index=round_index,
+            )
+        if self.network is not None:
+            self.delivery.snapshot_in_flight(round_index, self._in_flight.in_flight)
+        record = self._record_round(alive, round_index)
+        record.time = time
+        self.result.append(record)
+        self.round_index = sample_index
+        if self.network is not None:
+            self.network.begin_round(sample_index)
+
+    def _on_membership(self, event, time: float) -> None:
+        before = self._state_mass
+        event.apply(self, event.round)
+        # Models may mutate hosts directly (graceful departures revive or
+        # transfer state), so recompute the live set rather than trusting
+        # the fail_host/add_host overrides alone.
+        self._alive_set = set(self.alive_ids())
+        if self._track_mass:
+            total = self._total_state_mass()
+            delta = total - before
+            if delta:
+                # Joins mint mass and value rebases shift it by design;
+                # both are deliberate injections, not leaks.
+                self.mass_ledger.record_injected(delta)
+            self._state_mass = total
+
+    # -------------------------------------------------------------- plumbing
+    def _sample_bin(self, time: float) -> int:
+        """The sample (== round) index that will record activity at ``time``."""
+        return max(0, math.ceil(time / self.sample_interval - _TIME_EPS) - 1)
+
+    def _plan_delay(self, source: int, destination: int, bin_index: int, size: int):
+        """Delivery delay in simulated seconds, or ``None`` when lost."""
+        if self.network is None:
+            return 0.0
+        return self.network.plan_seconds(
+            source, destination, bin_index, size, self._network_rng
+        )
+
+    def _deliver_payload(
+        self, target: int, payload, mass: Optional[float], bin_index: int, *, count: bool
+    ) -> None:
+        """Drop ``payload`` into ``target``'s pending inbox."""
+        self._inboxes.setdefault(target, []).append(payload)
+        self._received[target] = self._received.get(target, 0) + 1
+        if count:
+            self.delivery.record_delivered(bin_index)
+        if self._track_mass and mass is not None:
+            self._inbox_mass += mass
+
+    def _run_state_hook(self, state, hook, *, inject: bool) -> None:
+        """Run a protocol hook, folding its state-mass delta into the books.
+
+        ``inject=True`` marks the delta as deliberate (epoch restarts in
+        ``begin_round``, reversion in ``finalize_round``); deltas from
+        non-injecting hooks are left unrecorded so the next conservation
+        check reports them as leaks.
+        """
+        if not self._track_mass:
+            hook()
+            return
+        before = self.protocol.state_mass(state) or 0.0
+        hook()
+        delta = (self.protocol.state_mass(state) or 0.0) - before
+        if delta:
+            self._state_mass += delta
+            if inject:
+                self.mass_ledger.record_injected(delta)
+
+    def _observed_mass(self) -> float:
+        """All conserved mass the engine can currently see (running totals)."""
+        return self._state_mass + self._in_flight.in_flight_mass + self._inbox_mass

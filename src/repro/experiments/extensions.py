@@ -12,6 +12,10 @@ extensions add so that their claims are as reproducible as the paper's:
   Count-Sketch-Reset as the Bernoulli message-loss rate grows, a figure
   the paper never ran (its evaluation assumes reliable delivery; the
   network models of :mod:`repro.network` lift that assumption).
+* **Rate-heterogeneity sweep** — convergence time in *simulated seconds*
+  as the host population splits into fast and slow gossipers, a question
+  only the event engine (:mod:`repro.events`) can ask: the paper's
+  lockstep rounds force every host onto the same clock.
 """
 
 from __future__ import annotations
@@ -41,6 +45,10 @@ __all__ = [
     "DEFAULT_LOSS_RATES",
     "run_loss_sweep",
     "render_loss_sweep",
+    "RateHeterogeneityResult",
+    "DEFAULT_RATE_RATIOS",
+    "run_rate_heterogeneity_sweep",
+    "render_rate_heterogeneity_sweep",
 ]
 
 #: Loss rates swept by :func:`run_loss_sweep`.
@@ -268,6 +276,161 @@ def render_loss_sweep(result: LossSweepResult) -> str:
     )
     return header + render_table(
         ["loss rate"] + [f"{label} (% err)" for label in labels], rows
+    )
+
+
+#: Fast:slow gossip-rate ratios swept by :func:`run_rate_heterogeneity_sweep`.
+DEFAULT_RATE_RATIOS = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+@dataclass
+class RateHeterogeneityResult:
+    """Convergence time (simulated seconds) versus fast:slow rate ratio."""
+
+    n_hosts: int
+    duration: float
+    ratios: Tuple[float, ...]
+    threshold: float
+    sustained: int
+    #: protocol label → {ratio → simulated seconds to convergence, or None}
+    convergence_seconds: Dict[str, Dict[float, float]] = field(default_factory=dict)
+    #: protocol label → {ratio → final error as a fraction of truth}
+    relative_final: Dict[str, Dict[float, float]] = field(default_factory=dict)
+
+
+def _convergence_time(result, threshold: float, sustained: int):
+    """Simulated time of the first record opening a sustained sub-threshold run.
+
+    ``threshold`` is relative to each record's truth (mirrors
+    :meth:`SimulationResult.convergence_round` with ``relative=True``)
+    but the answer is the record's ``time`` — the axis rate heterogeneity
+    distorts.  Returns ``None`` when the run never converges.
+    """
+    run_length = 0
+    for index, record in enumerate(result.rounds):
+        if record.stddev_error <= threshold * abs(record.truth):
+            run_length += 1
+            if run_length >= sustained:
+                return result.rounds[index - sustained + 1].time
+        else:
+            run_length = 0
+    return None
+
+
+def run_rate_heterogeneity_sweep(
+    n_hosts: int = 400,
+    *,
+    duration: float = 60.0,
+    ratios: Sequence[float] = DEFAULT_RATE_RATIOS,
+    reversion: float = 0.05,
+    bins: int = 16,
+    bits: int = 18,
+    cutoff: str = "slow",
+    threshold: float = 0.05,
+    sustained: int = 3,
+    seed: int = 0,
+) -> RateHeterogeneityResult:
+    """Sweep the fast:slow gossip-rate ratio on the event engine.
+
+    Half the hosts gossip at 1 Hz, the other half at ``1/ratio`` Hz
+    (``ratio=1`` is the homogeneous baseline), exchanging over a perfect
+    network on the continuous-time calendar of :mod:`repro.events`.  The
+    question is how unevenly-paced gossip stretches convergence *in
+    simulated seconds*: slow hosts initiate exchanges rarely, but fast
+    initiators still pull them toward the average when sampling them as
+    responders, so time-to-converge should grow far slower than the slow
+    hosts' period alone suggests.  Count-Sketch-Reset ages its sketches
+    per *local* tick, so its freshness cutoff also dilates with the slow
+    hosts' clocks — the sweep shows whether that keeps the estimate
+    stable.  Convergence is the first time the error stays below
+    ``threshold`` × truth for ``sustained`` consecutive one-second
+    samples.
+    """
+    base = {
+        "push-sum-revert": ScenarioSpec(
+            protocol="push-sum-revert",
+            protocol_params={"reversion": reversion},
+            mode="exchange",
+            n_hosts=n_hosts,
+            rounds=int(duration),
+            seed=seed,
+            engine="events",
+            backend="agent",
+            name="rate-heterogeneity-push-sum-revert",
+        ),
+        "count-sketch-reset": ScenarioSpec(
+            protocol="count-sketch-reset",
+            protocol_params={"bins": bins, "bits": bits, "cutoff": cutoff},
+            workload="constant",
+            mode="exchange",
+            n_hosts=n_hosts,
+            rounds=int(duration),
+            seed=seed,
+            engine="events",
+            backend="agent",
+            name="rate-heterogeneity-count-sketch-reset",
+        ),
+    }
+    result = RateHeterogeneityResult(
+        n_hosts=n_hosts,
+        duration=float(duration),
+        ratios=tuple(float(ratio) for ratio in ratios),
+        threshold=float(threshold),
+        sustained=int(sustained),
+    )
+    for label, spec in base.items():
+        per_ratio_time: Dict[float, float] = {}
+        per_ratio_final: Dict[float, float] = {}
+        for ratio in result.ratios:
+            if ratio < 1.0:
+                raise ValueError(f"rate ratios must be >= 1, got {ratio}")
+            swept = spec.replace(
+                engine_params={
+                    "duration": float(duration),
+                    "sample_interval": 1.0,
+                    "synchronized": False,
+                    "rates": {
+                        "distribution": "heterogeneous",
+                        "fast": 1.0,
+                        "slow": 1.0 / ratio,
+                        "fast_fraction": 0.5,
+                    },
+                },
+            )
+            run = run_scenario(swept)
+            per_ratio_time[ratio] = _convergence_time(run, result.threshold, result.sustained)
+            truth = abs(run.final_truth()) or 1.0
+            per_ratio_final[ratio] = run.final_error() / truth
+        result.convergence_seconds[label] = per_ratio_time
+        result.relative_final[label] = per_ratio_final
+    return result
+
+
+def render_rate_heterogeneity_sweep(result: RateHeterogeneityResult) -> str:
+    """Render the rate-heterogeneity sweep as a table (simulated seconds)."""
+    labels = list(result.convergence_seconds)
+
+    def _cell(value) -> str:
+        return "-" if value is None else f"{value:g}"
+
+    rows = [
+        [f"{ratio:g}"]
+        + [_cell(result.convergence_seconds[label][ratio]) for label in labels]
+        + [round(100.0 * result.relative_final[label][ratio], 3) for label in labels]
+        for ratio in result.ratios
+    ]
+    header = (
+        f"Convergence time vs gossip-rate heterogeneity: {result.n_hosts} hosts on the "
+        f"event engine, half at 1 Hz and half at 1/ratio Hz, exchange gossip for "
+        f"{result.duration:g} simulated seconds.\n"
+        f"Convergence = first time the error stays below {100 * result.threshold:g}% of "
+        f"truth for {result.sustained} consecutive 1 s samples ('-' = never).\n"
+    )
+    return header + render_table(
+        ["fast:slow"]
+        + [f"{label} (s)" for label in labels]
+        + [f"{label} (% err)" for label in labels],
+        rows,
     )
 
 

@@ -1,12 +1,15 @@
 """The event-driven delivery engine: in-flight messages and mass accounting.
 
 When a network model (:mod:`repro.network.models`) can delay messages, a
-payload pushed in round *t* is no longer guaranteed to arrive in round
-*t*: it sits *in flight* until its delivery round, arrives at a host that
-may have departed in the meantime, or never arrives at all.
+payload pushed at time *t* is no longer guaranteed to arrive at time
+*t*: it sits *in flight* until its delivery instant, arrives at a host
+that may have departed in the meantime, or never arrives at all.
 :class:`DeliveryQueue` is the calendar of those in-flight messages,
-keyed by delivery round so the engine pops exactly the messages that
-mature each round.
+keyed by the instant they mature.  The key is an opaque number: the
+round engine keys by integer round index, the event engine
+(:mod:`repro.events`) keys by simulated-seconds timestamps — the same
+queue serves both, popping exactly the messages that mature at each
+instant it is asked about.
 
 Loss and latency are what make mass accounting critical.  Push-Sum-style
 protocols are correct *because* every unit of mass exists exactly once —
@@ -35,33 +38,38 @@ __all__ = ["InFlightMessage", "DeliveryQueue", "MassLedger", "MassConservationEr
 class InFlightMessage:
     """One payload travelling through the (simulated) network.
 
-    ``mass`` is the conserved quantity the payload carries (the Push-Sum
-    weight), or ``None`` for protocols without a mass notion (sketches).
+    ``sent_round`` / ``deliver_round`` are the instants the message left
+    and matures at — integer round indices under the round engine, float
+    simulated-seconds timestamps under the event engine.  ``mass`` is the
+    conserved quantity the payload carries (the Push-Sum weight), or
+    ``None`` for protocols without a mass notion (sketches).
     """
 
     source: int
     destination: int
     payload: Any
-    sent_round: int
-    deliver_round: int
+    sent_round: float
+    deliver_round: float
     mass: Optional[float] = None
 
 
 class DeliveryQueue:
-    """In-flight messages, keyed by the round they mature in.
+    """In-flight messages, keyed by the instant they mature.
 
-    Messages scheduled for the same round are delivered in the order they
-    were scheduled (sending order), which keeps delayed delivery
-    deterministic for equal seeds.
+    Messages scheduled for the same instant are delivered in the order
+    they were scheduled (sending order), which keeps delayed delivery
+    deterministic for equal seeds.  Keys are exact (dictionary lookup,
+    no tolerance): the caller pops with the very same round index or
+    timestamp it scheduled under — which both engines do by construction.
     """
 
     def __init__(self):
-        self._pending: Dict[int, List[InFlightMessage]] = {}
+        self._pending: Dict[float, List[InFlightMessage]] = {}
         self._count = 0
         self._mass = 0.0
 
     def schedule(self, message: InFlightMessage) -> None:
-        """Add ``message`` to the calendar under its delivery round."""
+        """Add ``message`` to the calendar under its delivery instant."""
         if message.deliver_round <= message.sent_round:
             raise ValueError(
                 f"in-flight messages must mature strictly after they are sent "
@@ -72,8 +80,8 @@ class DeliveryQueue:
         if message.mass is not None:
             self._mass += message.mass
 
-    def due(self, round_index: int) -> List[InFlightMessage]:
-        """Pop and return every message maturing in ``round_index``."""
+    def due(self, round_index: float) -> List[InFlightMessage]:
+        """Pop and return every message maturing at instant ``round_index``."""
         matured = self._pending.pop(round_index, [])
         self._count -= len(matured)
         for message in matured:

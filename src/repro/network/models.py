@@ -97,6 +97,27 @@ class NetworkModel:
         """The delivery delay in rounds for this message, or ``None`` if lost."""
         return 0
 
+    def plan_seconds(
+        self,
+        source: int,
+        destination: int,
+        round_index: int,
+        size_bytes: int,
+        rng: np.random.Generator,
+    ) -> Optional[float]:
+        """The delivery delay in *simulated seconds*, or ``None`` if lost.
+
+        The event engine (:mod:`repro.events`) consults this instead of
+        :meth:`plan`: delays become continuous times on the global event
+        calendar rather than whole-round deferrals.  The default maps the
+        round-based answer one-to-one (one round of delay = one second),
+        so loss-only and budget models behave identically under both
+        engines; latency models override it to yield unrounded delays.
+        ``round_index`` is the engine's current sample bin.
+        """
+        delay = self.plan(source, destination, round_index, size_bytes, rng)
+        return None if delay is None else float(delay)
+
     def describe(self) -> dict:
         """The model's salient parameters (for metadata and reports)."""
         return {"name": self.name}
@@ -210,6 +231,19 @@ class LatencyNetwork(NetworkModel):
             drawn = int(round(rng.lognormal(self.mean, self.sigma)))
         return min(drawn, self.max_delay)
 
+    def plan_seconds(self, source, destination, round_index, size_bytes, rng) -> Optional[float]:
+        # Same draws, continuous answer: the uniform distribution keeps its
+        # integer draw (identical stream consumption under either engine),
+        # while the lognormal keeps its unrounded tail — the event calendar
+        # has no round grid to snap to.
+        if self.distribution == "fixed":
+            drawn = float(self.delay)
+        elif self.distribution == "uniform":
+            drawn = float(rng.integers(self.low, self.high + 1))
+        else:
+            drawn = float(rng.lognormal(self.mean, self.sigma))
+        return min(drawn, float(self.max_delay))
+
     def describe(self) -> dict:
         described = {"name": self.name, "distribution": self.distribution,
                      "max_delay": self.max_delay}
@@ -291,6 +325,15 @@ class StackedNetwork(NetworkModel):
         total_delay = 0
         for layer in self.layers:
             delay = layer.plan(source, destination, round_index, size_bytes, rng)
+            if delay is None:
+                return None
+            total_delay += delay
+        return total_delay
+
+    def plan_seconds(self, source, destination, round_index, size_bytes, rng) -> Optional[float]:
+        total_delay = 0.0
+        for layer in self.layers:
+            delay = layer.plan_seconds(source, destination, round_index, size_bytes, rng)
             if delay is None:
                 return None
             total_delay += delay

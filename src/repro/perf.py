@@ -31,6 +31,7 @@ from repro.api.spec import ScenarioSpec, run_scenario
 
 __all__ = [
     "BenchRecord",
+    "AGENT_ONLY_PROTOCOLS",
     "DEFAULT_PROTOCOLS",
     "run_core_benchmark",
     "render_benchmark",
@@ -62,19 +63,27 @@ AGENT_SIZE_CAPS = {
     "push-sum-revert-ring": 10_000,
     "push-sum-revert-grid": 10_000,
     "count-sketch-reset": 2_000,
+    "push-sum-revert-events": 2_000,
 }
+
+#: Rows that only the agent engine can run (the event engine has no
+#: vectorised counterpart, so no speedup column for these cells).
+AGENT_ONLY_PROTOCOLS = ("push-sum-revert-events",)
 
 #: Protocol cells timed by default: the two dynamic protocols on a perfect
 #: network, the lossy-network variant (Bernoulli loss exercises the
 #: delivery layer on the agent engine and the loss path in the kernel),
-#: and two topology-restricted rows (ring and grid gossip through the
-#: sparse-adjacency samplers of :mod:`repro.simulator.sparse`).
+#: two topology-restricted rows (ring and grid gossip through the
+#: sparse-adjacency samplers of :mod:`repro.simulator.sparse`), and an
+#: event-engine row (latency x exchange on the continuous-time calendar
+#: of :mod:`repro.events` — agent-only, tracking the calendar's cost).
 DEFAULT_PROTOCOLS = (
     "push-sum-revert",
     "count-sketch-reset",
     "push-sum-revert-lossy",
     "push-sum-revert-ring",
     "push-sum-revert-grid",
+    "push-sum-revert-events",
 )
 
 
@@ -155,6 +164,23 @@ def _bench_spec(protocol: str, n_hosts: int, rounds: int, backend: str, seed: in
             backend=backend,
             name=f"bench {protocol} n={n_hosts} ({backend})",
         )
+    if protocol == "push-sum-revert-events":
+        # The event-engine row: latency x exchange on the continuous-time
+        # calendar — the combination the round engine rejects outright.
+        return ScenarioSpec(
+            protocol="push-sum-revert",
+            protocol_params={"reversion": 0.1},
+            mode="exchange",
+            network="latency",
+            network_params={"distribution": "uniform", "low": 0, "high": 2},
+            engine="events",
+            n_hosts=n_hosts,
+            rounds=rounds,
+            seed=seed,
+            events=(failure,),
+            backend=backend,
+            name=f"bench {protocol} n={n_hosts} ({backend})",
+        )
     if protocol == "count-sketch-reset":
         return ScenarioSpec(
             protocol="count-sketch-reset",
@@ -205,7 +231,11 @@ def run_core_benchmark(
     for protocol in protocols:
         cap = AGENT_SIZE_CAPS.get(protocol, max(chosen_sizes))
         for n_hosts in chosen_sizes:
-            backends = ["vectorized"] + (["agent"] if n_hosts <= cap else [])
+            agent_side = ["agent"] if n_hosts <= cap else []
+            if protocol in AGENT_ONLY_PROTOCOLS:
+                backends = agent_side
+            else:
+                backends = ["vectorized"] + agent_side
             for backend in backends:
                 spec = _bench_spec(protocol, n_hosts, rounds, backend, seed)
                 times = _time_spec(spec, repeats)

@@ -95,6 +95,13 @@ class Simulation:
     2.0
     """
 
+    #: Whether this engine can realise an exchange across a delivery delay.
+    #: The round loop cannot (an atomic push/pull has no "later"), so it
+    #: rejects latency-capable models in exchange mode up front; the event
+    #: engine (:class:`repro.events.EventSimulation`) defers exchanges as
+    #: request/reply events and overrides this to lift the rejection.
+    _defers_exchange = False
+
     def __init__(
         self,
         protocol: AggregationProtocol,
@@ -110,11 +117,17 @@ class Simulation:
     ):
         if mode not in ("push", "exchange"):
             raise ValueError(f"unknown mode {mode!r}; expected 'push' or 'exchange'")
-        if network is not None and mode == "exchange" and getattr(network, "has_latency", False):
+        if (
+            network is not None
+            and mode == "exchange"
+            and getattr(network, "has_latency", False)
+            and not self._defers_exchange
+        ):
             raise ValueError(
                 f"network model {getattr(network, 'name', type(network).__name__)!r} can delay "
-                "delivery, but mode='exchange' performs atomic push/pull exchanges that cannot "
-                "be deferred; use mode='push' or a loss-only network model"
+                "delivery, but mode='exchange' performs atomic push/pull exchanges that the "
+                "round engine cannot defer; use the event engine (engine='events'), "
+                "mode='push', or a loss-only network model"
             )
         if mode == "exchange" and not (
             isinstance(protocol, ExchangeProtocol)

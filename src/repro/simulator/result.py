@@ -46,6 +46,11 @@ class RoundRecord:
     group_sizes:
         Mean group size when the run is group-relative (trace environments),
         otherwise ``None``.  This is the "Avg Group Size" series of Fig 11.
+    time:
+        Simulated time (seconds) at which the record was sampled.  Set by
+        the event engine (:mod:`repro.events`), where "round" *r* is the
+        sample taken at ``(r + 1) * sample_interval``; ``None`` for the
+        round engine, whose rounds have no wall-clock meaning.
     """
 
     round_index: int
@@ -61,6 +66,7 @@ class RoundRecord:
     messages_delivered: int = 0
     messages_lost: int = 0
     messages_in_flight: int = 0
+    time: Optional[float] = None
 
 
 @dataclass
@@ -89,6 +95,10 @@ class SimulationResult:
     def round_indices(self) -> List[int]:
         """Round numbers in order."""
         return [record.round_index for record in self.rounds]
+
+    def times(self) -> List[Optional[float]]:
+        """Per-record simulated sample times (``None`` entries for round-engine runs)."""
+        return [record.time for record in self.rounds]
 
     def errors(self) -> List[float]:
         """Per-round standard deviation from the correct value."""
@@ -219,6 +229,9 @@ class SimulationResult:
                     "messages_delivered": record.messages_delivered,
                     "messages_lost": record.messages_lost,
                     "messages_in_flight": record.messages_in_flight,
+                    # The time axis only exists for event-engine runs; omit
+                    # it otherwise so round-engine CLI output is unchanged.
+                    **({"time": record.time} if record.time is not None else {}),
                 }
                 for record in self.rounds
             ],
@@ -258,6 +271,7 @@ class SimulationResult:
                     "messages_delivered": record.messages_delivered,
                     "messages_lost": record.messages_lost,
                     "messages_in_flight": record.messages_in_flight,
+                    "time": record.time,
                 }
                 for record in self.rounds
             ],
@@ -288,6 +302,7 @@ class SimulationResult:
                     messages_delivered=int(entry.get("messages_delivered", 0)),
                     messages_lost=int(entry.get("messages_lost", 0)),
                     messages_in_flight=int(entry.get("messages_in_flight", 0)),
+                    time=entry.get("time"),
                 )
             )
         return cls(

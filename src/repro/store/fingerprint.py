@@ -35,6 +35,7 @@ __all__ = ["code_fingerprint", "clear_fingerprint_cache"]
 #: Packages every simulation result depends on, whichever protocol ran.
 _SHARED_PACKAGES = (
     "repro.simulator",
+    "repro.events",
     "repro.network",
     "repro.environments",
     "repro.failures",

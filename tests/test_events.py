@@ -1,0 +1,441 @@
+"""Tests for the continuous-time event-driven engine (repro.events)."""
+
+import json
+
+import pytest
+
+from repro.api import ScenarioSpec, resolve_backend, run_scenario
+from repro.cli import main as cli_main
+from repro.core import PushSumRevert
+from repro.environments import UniformEnvironment
+from repro.events import (
+    DELIVER,
+    MEMBERSHIP,
+    SAMPLE,
+    TICK,
+    EventCalendar,
+    EventSimulation,
+    draw_rate,
+    make_clock,
+)
+from repro.failures import ExplicitFailure, FailureEvent, JoinEvent, ValueChangeEvent
+from repro.network import LatencyNetwork, MassConservationError
+from repro.simulator import Simulation
+from repro.workloads import uniform_values
+
+RECORD_FIELDS = (
+    "round_index",
+    "truth",
+    "n_alive",
+    "mean_estimate",
+    "stddev_error",
+    "max_abs_error",
+    "mean_abs_error",
+    "bytes_sent",
+    "estimates",
+    "group_sizes",
+    "messages_delivered",
+    "messages_lost",
+    "messages_in_flight",
+)
+
+
+def membership_events():
+    """A failure, a join and a value change — the full membership menu."""
+    return [
+        FailureEvent(round=8, model=ExplicitFailure([0, 3, 5])),
+        JoinEvent(round=12, count=4),
+        ValueChangeEvent(round=16, new_values={7: 250.0, 9: -40.0}),
+    ]
+
+
+def event_simulation(n_hosts=48, seed=11, **overrides):
+    """A small event-engine run over the standard uniform scenario."""
+    values = uniform_values(n_hosts, seed=seed)
+    kwargs = dict(
+        seed=seed,
+        mode="push",
+        duration=20.0,
+        sample_interval=1.0,
+        mass_check="event",
+    )
+    kwargs.update(overrides)
+    return EventSimulation(
+        PushSumRevert(0.05), UniformEnvironment(n_hosts), values, **kwargs
+    )
+
+
+# ---------------------------------------------------------------------------
+# Calendar ordering
+# ---------------------------------------------------------------------------
+class TestEventCalendar:
+    def test_orders_by_time_then_priority(self):
+        calendar = EventCalendar()
+        calendar.schedule(2.0, TICK, ("tick", 1))
+        calendar.schedule(1.0, TICK, ("tick", 2))
+        calendar.schedule(1.0, SAMPLE, ("sample", 1))
+        calendar.schedule(1.0, DELIVER, ("deliver",))
+        calendar.schedule(1.0, MEMBERSHIP, ("membership", None))
+        kinds = [calendar.pop()[3][0] for _ in range(len(calendar))]
+        assert kinds == ["membership", "deliver", "tick", "sample", "tick"]
+
+    def test_equal_time_equal_priority_pops_in_schedule_order(self):
+        # The monotone sequence number breaks ties deterministically and
+        # keeps payloads (which may be uncomparable dicts) out of the heap
+        # comparison entirely.
+        calendar = EventCalendar()
+        for index in range(10):
+            calendar.schedule(1.0, TICK, ("tick", {"payload": index}))
+        popped = [calendar.pop()[3][1]["payload"] for _ in range(10)]
+        assert popped == list(range(10))
+
+    def test_len_and_bool(self):
+        calendar = EventCalendar()
+        assert not calendar and len(calendar) == 0
+        calendar.schedule(1.0, TICK, ("tick", 0))
+        assert calendar and len(calendar) == 1
+
+
+# ---------------------------------------------------------------------------
+# Host clocks
+# ---------------------------------------------------------------------------
+class TestClocks:
+    def test_synchronized_clocks_tick_on_the_global_grid(self, rng):
+        clock = make_clock(0, 0.5, join_time=0.0, synchronized=True, rng=rng)
+        times = [clock.next_time()]
+        for _ in range(3):
+            clock.advance()
+            times.append(clock.next_time())
+        assert times == [2.0, 4.0, 6.0, 8.0]
+
+    def test_synchronized_joiner_starts_on_the_next_grid_point(self, rng):
+        late = make_clock(1, 1.0, join_time=2.5, synchronized=True, rng=rng)
+        assert late.next_time() == 3.0
+        on_grid = make_clock(2, 1.0, join_time=3.0, synchronized=True, rng=rng)
+        assert on_grid.next_time() == 3.0  # round-engine join semantics
+
+    def test_unsynchronized_phase_is_random_but_within_one_period(self, rng):
+        clock = make_clock(0, 2.0, join_time=1.0, synchronized=False, rng=rng)
+        first = clock.next_time()
+        assert 1.0 < first <= 1.5
+        clock.advance()
+        assert clock.next_time() == pytest.approx(first + 0.5)
+
+    def test_rate_distributions(self, rng):
+        assert draw_rate({"distribution": "uniform", "rate": 2.5}, rng) == 2.5
+        fast_slow = {
+            draw_rate(
+                {"distribution": "heterogeneous", "fast": 2.0, "slow": 0.5}, rng
+            )
+            for _ in range(64)
+        }
+        assert fast_slow == {2.0, 0.5}
+        floored = {"distribution": "lognormal", "mean": 0.0, "sigma": 2.0, "min_rate": 1.0}
+        assert all(draw_rate(floored, rng) >= 1.0 for _ in range(64))
+
+    def test_nonpositive_rate_is_rejected(self, rng):
+        with pytest.raises(ValueError, match="rate"):
+            make_clock(0, 0.0, join_time=0.0, synchronized=True, rng=rng)
+
+
+# ---------------------------------------------------------------------------
+# Equivalence with the round engine
+# ---------------------------------------------------------------------------
+class TestRoundEngineEquivalence:
+    def test_unit_delay_synchronized_push_matches_the_round_engine(self):
+        # Unit fixed delay + synchronized 1 Hz clocks + 1 s samples is the
+        # round engine reconstructed on the calendar: a message sent in
+        # tick t arrives before the ticks of t+1, membership events fire
+        # between rounds, and every record must match bit for bit —
+        # including failure, join and value-change handling.
+        n_hosts, rounds, seed = 48, 25, 11
+        values = uniform_values(n_hosts, seed=seed)
+
+        round_engine = Simulation(
+            PushSumRevert(0.05),
+            UniformEnvironment(n_hosts),
+            values,
+            seed=seed,
+            mode="push",
+            events=membership_events(),
+            network=LatencyNetwork(distribution="fixed", delay=1),
+        )
+        reference = round_engine.run(rounds)
+
+        event_engine = EventSimulation(
+            PushSumRevert(0.05),
+            UniformEnvironment(n_hosts),
+            values,
+            seed=seed,
+            mode="push",
+            events=membership_events(),
+            network=LatencyNetwork(distribution="fixed", delay=1),
+            duration=float(rounds),
+            sample_interval=1.0,
+            synchronized=True,
+            mass_check="event",
+        )
+        candidate = event_engine.run()
+
+        assert len(candidate.rounds) == len(reference.rounds) == rounds
+        for ours, theirs in zip(candidate.rounds, reference.rounds):
+            for field in RECORD_FIELDS:
+                assert getattr(ours, field) == getattr(theirs, field), field
+            assert ours.time == float(ours.round_index + 1)
+            assert theirs.time is None
+
+    def test_equal_seeds_are_bit_deterministic(self):
+        kwargs = dict(
+            mode="exchange",
+            network=LatencyNetwork(distribution="uniform", low=0, high=2),
+            rates={"distribution": "heterogeneous", "fast": 2.0, "slow": 0.25},
+            synchronized=False,
+        )
+        first = event_simulation(**kwargs).run()
+        second = event_simulation(**kwargs).run()
+        assert first.to_payload() == second.to_payload()
+        different = event_simulation(seed=12, **kwargs).run()
+        assert different.to_payload() != first.to_payload()
+
+
+# ---------------------------------------------------------------------------
+# Mass conservation
+# ---------------------------------------------------------------------------
+class TestMassConservation:
+    def test_latency_exchange_conserves_mass_at_every_event(self):
+        # The combination the round engine rejects outright: exchanges
+        # over a delaying network, checked after every single event.
+        simulation = event_simulation(
+            mode="exchange",
+            events=membership_events(),
+            network=LatencyNetwork(distribution="uniform", low=0, high=2),
+            mass_check="event",
+        )
+        result = simulation.run()
+        assert len(result.rounds) == 20
+        assert result.final_error() < 20.0
+
+    def test_latency_push_conserves_mass_with_lognormal_rates(self):
+        simulation = event_simulation(
+            mode="push",
+            network=LatencyNetwork(distribution="lognormal", mean=0.3, sigma=0.6),
+            rates={"distribution": "lognormal", "mean": 0.0, "sigma": 0.5},
+            synchronized=False,
+            mass_check="event",
+        )
+        simulation.run()
+
+    def test_a_leaking_protocol_is_caught(self):
+        class LeakyPushSumRevert(PushSumRevert):
+            def integrate(self, state, payloads, rng):
+                super().integrate(state, payloads, rng)
+                state.weight *= 0.9  # silently drop mass outside any hook
+
+        values = uniform_values(16, seed=3)
+        simulation = EventSimulation(
+            LeakyPushSumRevert(0.05),
+            UniformEnvironment(16),
+            values,
+            seed=3,
+            mode="push",
+            duration=5.0,
+            mass_check="event",
+        )
+        with pytest.raises(MassConservationError):
+            simulation.run()
+
+    def test_mass_check_off_skips_the_books(self):
+        simulation = event_simulation(mass_check="off")
+        assert simulation._track_mass is False
+        simulation.run()
+
+
+# ---------------------------------------------------------------------------
+# Engine API guards
+# ---------------------------------------------------------------------------
+class TestEngineGuards:
+    def test_run_rejects_a_round_count(self):
+        with pytest.raises(ValueError, match="duration"):
+            event_simulation().run(10)
+
+    def test_run_is_single_shot(self):
+        simulation = event_simulation()
+        simulation.run()
+        with pytest.raises(RuntimeError, match="once"):
+            simulation.run()
+
+    def test_step_is_not_part_of_the_contract(self):
+        with pytest.raises(NotImplementedError):
+            event_simulation().step()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="sample_interval"):
+            event_simulation(sample_interval=0.0)
+        with pytest.raises(ValueError, match="duration"):
+            event_simulation(duration=0.5, sample_interval=1.0)
+        with pytest.raises(ValueError, match="mass_check"):
+            event_simulation(mass_check="sometimes")
+
+    def test_result_carries_the_time_axis_and_engine_metadata(self):
+        result = event_simulation(duration=6.0, sample_interval=2.0).run()
+        assert result.times() == [2.0, 4.0, 6.0]
+        assert result.round_indices() == [0, 1, 2]
+        assert result.metadata["engine"]["name"] == "events"
+        assert result.metadata["engine"]["sample_interval"] == 2.0
+
+    def test_payload_round_trip_keeps_time_and_tolerates_legacy_blobs(self):
+        result = event_simulation(duration=4.0).run()
+        from repro.simulator import SimulationResult
+
+        rebuilt = SimulationResult.from_payload(result.to_payload())
+        assert rebuilt.times() == result.times() == [1.0, 2.0, 3.0, 4.0]
+        legacy = result.to_payload()
+        for entry in legacy["rounds"]:
+            del entry["time"]  # blobs written before the event engine
+        assert SimulationResult.from_payload(legacy).times() == [None] * 4
+
+
+# ---------------------------------------------------------------------------
+# Spec validation and dispatch
+# ---------------------------------------------------------------------------
+def events_spec(**overrides):
+    base = dict(
+        protocol="push-sum-revert",
+        protocol_params={"reversion": 0.05},
+        n_hosts=32,
+        rounds=8,
+        seed=5,
+        engine="events",
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestScenarioSpec:
+    def test_unknown_engine_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            events_spec(engine="ticks")
+
+    def test_engine_params_are_rejected_under_the_round_engine(self):
+        with pytest.raises(ValueError, match="events"):
+            events_spec(engine="rounds", engine_params={"duration": 10.0})
+
+    @pytest.mark.parametrize(
+        "params, match",
+        [
+            ({"cadence": 2.0}, "unknown engine_params"),
+            ({"sample_interval": 0}, "sample_interval"),
+            ({"sample_interval": True}, "sample_interval"),
+            ({"duration": 0.5}, "duration"),
+            ({"synchronized": "yes"}, "synchronized"),
+            ({"mass_check": "sometimes"}, "mass_check"),
+            ({"rates": "fast"}, "rates"),
+            ({"rates": {"distribution": "bimodal"}}, "unknown rate distribution"),
+            ({"rates": {"rate": 0.0}}, "positive 'rate'"),
+            ({"rates": {"distribution": "heterogeneous", "fast": 1.0}}, "slow"),
+            (
+                {
+                    "rates": {
+                        "distribution": "heterogeneous",
+                        "fast": 1.0,
+                        "slow": 1.0,
+                        "fast_fraction": 1.5,
+                    }
+                },
+                "fast_fraction",
+            ),
+            ({"rates": {"distribution": "lognormal", "sigma": -1.0}}, "sigma"),
+            ({"rates": {"distribution": "lognormal", "min_rate": 0}}, "min_rate"),
+            ({"rates": {"distribution": "uniform", "fast": 2.0}}, "unknown keys"),
+        ],
+    )
+    def test_bad_engine_params_fail_eagerly(self, params, match):
+        with pytest.raises(ValueError, match=match):
+            events_spec(engine_params=params)
+
+    def test_latency_exchange_is_legal_only_on_the_event_engine(self):
+        with pytest.raises(ValueError, match="event engine"):
+            events_spec(
+                engine="rounds",
+                mode="exchange",
+                network="latency",
+                network_params={"distribution": "fixed", "delay": 2},
+            )
+        spec = events_spec(
+            mode="exchange",
+            network="latency",
+            network_params={"distribution": "fixed", "delay": 2},
+        )
+        assert spec.engine == "events"
+
+    def test_engine_settings_resolve_defaults(self):
+        settings = events_spec(engine_params={"sample_interval": 2.0}).engine_settings()
+        assert settings["duration"] == 16.0  # rounds * sample_interval
+        assert settings["synchronized"] is True
+        assert settings["mass_check"] == "sample"
+
+    def test_engine_fields_address_distinct_cache_keys(self):
+        rounds_key = events_spec(engine="rounds").key()
+        events_key = events_spec().key()
+        tuned_key = events_spec(engine_params={"duration": 30.0}).key()
+        assert len({rounds_key, events_key, tuned_key}) == 3
+
+    def test_spec_round_trips_through_json(self):
+        spec = events_spec(
+            engine_params={
+                "duration": 12.0,
+                "rates": {"distribution": "heterogeneous", "fast": 2.0, "slow": 0.5},
+            }
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_vectorized_backend_rejects_events_and_auto_falls_back(self):
+        with pytest.raises(ValueError, match="vectorised"):
+            events_spec(backend="vectorized")
+        assert resolve_backend(events_spec(backend="auto")) == "agent"
+
+    def test_run_scenario_dispatches_to_the_event_engine(self):
+        result = run_scenario(events_spec(backend="auto"))
+        assert result.metadata["backend"] == "agent"
+        assert result.metadata["engine"]["name"] == "events"
+        assert result.times() == [float(j) for j in range(1, 9)]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+class TestCli:
+    def test_run_with_engine_flags(self, capsys):
+        exit_code = cli_main(
+            [
+                "run",
+                "--protocol", "push-sum-revert",
+                "--hosts", "32",
+                "--rounds", "6",
+                "--engine", "events",
+                "--engine-params",
+                json.dumps({"rates": {"distribution": "heterogeneous",
+                                      "fast": 2.0, "slow": 0.5}}),
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["result"]["metadata"]["engine"]["name"] == "events"
+        assert [entry["time"] for entry in payload["result"]["rounds"]] == [
+            float(j) for j in range(1, 7)
+        ]
+
+    def test_list_includes_the_engines(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "engine" in out
+        assert "events" in out
+
+    def test_heterogeneous_rates_example_spec_runs(self, capsys):
+        exit_code = cli_main(
+            ["run", "--config", "examples/specs/heterogeneous_rates.json",
+             "--hosts", "32", "--rounds", "5"]
+        )
+        assert exit_code == 0

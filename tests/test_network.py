@@ -378,13 +378,13 @@ class TestEagerValidation:
             _spec("stacked", {"layers": [{"model": "stacked", "layers": []}]})
 
     def test_exchange_mode_rejects_latency(self):
-        with pytest.raises(ValueError, match="atomic push/pull.*cannot be\\s+deferred"):
+        with pytest.raises(ValueError, match="atomic push/pull.*round\\s+engine cannot defer"):
             _spec("latency", {"distribution": "fixed", "delay": 2}, mode="exchange")
 
     def test_exchange_mode_rejects_stacked_latency(self):
         layers = {"layers": [{"model": "bernoulli-loss", "p": 0.1},
                              {"model": "latency", "distribution": "fixed", "delay": 1}]}
-        with pytest.raises(ValueError, match="cannot be\\s+deferred"):
+        with pytest.raises(ValueError, match="round\\s+engine cannot defer"):
             _spec("stacked", layers, mode="exchange")
 
     def test_exchange_mode_allows_loss_only_models(self):
@@ -393,7 +393,7 @@ class TestEagerValidation:
         _spec("latency", {"distribution": "fixed", "delay": 0}, mode="exchange")
 
     def test_engine_rejects_latency_in_exchange_mode_too(self):
-        with pytest.raises(ValueError, match="cannot\\s+be deferred"):
+        with pytest.raises(ValueError, match="round engine cannot\\s+defer"):
             Simulation(
                 PushSumRevert(0.1), UniformEnvironment(8), [1.0] * 8,
                 mode="exchange", network=LatencyNetwork(distribution="fixed", delay=1),

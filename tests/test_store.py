@@ -150,6 +150,39 @@ class TestResultStore:
         assert "repro.core.push_sum_revert" in names
         assert "repro.baselines.push_sum" in names
 
+    def test_editing_the_event_engine_invalidates_cached_results(self, store, monkeypatch):
+        # repro.events is part of the shared fingerprint: a cached result
+        # may have been produced by the event engine, so editing any of its
+        # modules must turn every hit into a miss.
+        from repro.store import fingerprint as fingerprint_module
+
+        assert "repro.events" in fingerprint_module._SHARED_PACKAGES
+
+        spec = small_spec(
+            engine="events", backend="agent",
+            engine_params={"duration": 6.0, "sample_interval": 1.0},
+        )
+        run_scenario(spec, store=store)
+        assert store.contains(spec)
+
+        real_read = fingerprint_module._read
+        marker = os.path.join("repro", "events")
+
+        def edited(path):
+            data = real_read(path)
+            return data + b"\n# edited" if marker in path else data
+
+        monkeypatch.setattr(fingerprint_module, "_read", edited)
+        fingerprint_module.clear_fingerprint_cache()
+        try:
+            assert store.get(spec) is None
+            assert len(store) == 0
+        finally:
+            monkeypatch.undo()
+            # Drop the digests memoised from the tampered sources so other
+            # tests see fingerprints of the real files again.
+            fingerprint_module.clear_fingerprint_cache()
+
     def test_unknown_protocol_entries_are_stale_not_fatal(self, store):
         import sqlite3
 
