@@ -28,7 +28,11 @@ This script walks through the library's core workflow both ways:
    (``repro.events``, DESIGN.md §11), where every host gossips on its
    own clock — here half the population runs 8× slower than the rest,
    over a latency network, in exchange mode (a combination the round
-   engine rejects) — and the result gains a simulated-time axis.
+   engine rejects) — and the result gains a simulated-time axis;
+8. let the population itself move: churn (departures plus arrivals every
+   round) grows and masks the kernel arrays in place, and a synthetic
+   contact trace replays as a time-varying CSR with group-relative error
+   (DESIGN.md §12) — both still at kernel speed under ``backend="auto"``.
 
 The spec also round-trips through JSON, which is exactly what
 ``repro-aggregate run --config`` and ``repro-aggregate sweep`` consume.
@@ -222,6 +226,44 @@ def main() -> None:
         f"0-2 s latency network: error {clocked.final_error():.2f} at "
         f"t={clocked.times()[-1]:.0f} s (vs {dynamic.final_error():.2f} for "
         f"lockstep rounds).  Example spec: examples/specs/heterogeneous_rates.json."
+    )
+
+    # Path 8: dynamic membership at kernel speed (DESIGN.md §12).  Churn —
+    # a failure draw plus fresh arrivals every round — now masks and grows
+    # the kernel arrays directly, and a contact trace compiles into a
+    # time-varying CSR whose union-window components define group-relative
+    # truth.  Both resolve to the vectorised backend under "auto".
+    churning = SPEC.replace(
+        name="quickstart-churn",
+        events=(
+            {"event": "churn", "start": 10, "stop": 40, "model": "uncorrelated",
+             "fraction": 0.01, "arrivals_per_round": 8},
+        ),
+    )
+    assert churning.resolved_backend() == "vectorized"
+    churned = run_scenario(churning)
+    replaying = ScenarioSpec(
+        name="quickstart-trace-replay",
+        protocol="push-sum-revert",
+        protocol_params={"reversion": 0.05},
+        environment="trace",
+        environment_params={"devices": 64, "hours": 2.0},
+        workload="uniform",
+        n_hosts=64,
+        rounds=120,
+        mode="exchange",
+        group_relative=True,
+        seed=7,
+    )
+    assert replaying.resolved_backend() == "vectorized"
+    replayed = run_scenario(replaying)
+    print(
+        f"\nDynamic membership on the kernels: churn (1% leaves, 8 join, every "
+        f"round 10-40) ends at {churned.alive_counts()[-1]} hosts with error "
+        f"{churned.final_error():.2f}; a 64-device synthetic contact trace "
+        f"replays with mean group-relative error {replayed.final_error():.2f} "
+        f"(mean group size {replayed.group_size_series()[-1]:.1f}).  Example "
+        f"spec: examples/specs/trace_churn.json."
     )
 
 

@@ -4,15 +4,18 @@ A :class:`~repro.api.spec.ScenarioSpec` describes *what* to simulate; this
 module decides *how*.  Two backends are registered:
 
 * ``"agent"`` — the reference per-host engine (:class:`repro.Simulation`).
-  Runs every protocol over every environment; the only backend for trace
-  environments, joins and churn.
+  Runs every protocol over every environment; the only backend for the
+  event-driven engine and for joins on static graph topologies.
 * ``"vectorized"`` — the NumPy kernels of :mod:`repro.simulator.vectorized`.
   Orders of magnitude faster (see ``BENCH_core.json``); covers uniform
-  gossip *and* the static graph topologies (``ring``, ``grid``,
-  ``random-geometric``, ``erdos-renyi``, ``spatial-grid``) via the
-  sparse-adjacency samplers of :mod:`repro.simulator.sparse`, for every
-  protocol with a kernel; the backend of the paper's large population
-  sweeps (Figs 6, 8, 9, 10) and its Section IV-A spatial scenarios.
+  gossip, the static graph topologies (``ring``, ``grid``,
+  ``random-geometric``, ``erdos-renyi``, ``spatial-grid``) *and* contact
+  traces (``trace``, compiled into a per-round time-varying CSR) via the
+  sparse-adjacency samplers of :mod:`repro.simulator.sparse`, plus the
+  dynamic-membership scenarios (mid-run joins under uniform gossip and
+  ``churn`` event schedules) for every protocol with a kernel; the
+  backend of the paper's large population sweeps (Figs 6, 8, 9, 10), its
+  Section IV-A spatial scenarios and its Fig 11 trace replays.
 
 ``backend="auto"`` (the spec default) picks the vectorised backend whenever
 the scenario's (protocol, environment, failure, workload) combination is
@@ -39,7 +42,7 @@ import numpy as np
 from repro.api.registry import ENVIRONMENTS, FAILURES, PROTOCOLS, Registry, _grid_dimensions
 from repro.failures.models import CorrelatedFailure, ExplicitFailure, UncorrelatedFailure
 from repro.simulator.result import RoundRecord, SimulationResult
-from repro.simulator.sparse import CSRTopology, GridRingTopology
+from repro.simulator.sparse import CSRTopology, GridRingTopology, TraceCSRTopology
 from repro.topology.graphs import erdos_renyi_edges, grid_edges, ring_lattice_edges
 from repro.simulator.vectorized import (
     VectorizedCountSketchReset,
@@ -88,9 +91,11 @@ _TOPOLOGY_CACHE_SIZE = 8
 #: Failure models the vectorised event loop can apply.
 _VECTOR_FAILURE_MODELS = ("uncorrelated", "correlated", "explicit")
 
-#: Environments with a vectorised peer sampler: uniform gossip plus the
-#: static graph topologies realised by :mod:`repro.simulator.sparse`
-#: (trace and neighbourhood environments stay agent-only).
+#: Environments with a vectorised peer sampler: uniform gossip, the
+#: static graph topologies realised by :mod:`repro.simulator.sparse`, and
+#: contact traces compiled into a per-round time-varying CSR
+#: (neighbourhood environments built from raw adjacency maps stay
+#: agent-only).
 _VECTOR_ENVIRONMENTS = (
     "uniform",
     "ring",
@@ -98,6 +103,7 @@ _VECTOR_ENVIRONMENTS = (
     "random-geometric",
     "erdos-renyi",
     "spatial-grid",
+    "trace",
 )
 
 #: Protocols whose kernels take a Bernoulli ``loss`` probability, so the
@@ -220,6 +226,11 @@ class VectorizedBackend(ExecutionBackend):
                 f"(its kernel takes no topology); environment {spec.environment!r} "
                 "requires the agent engine"
             )
+        if spec.environment == "trace" and bool(spec.environment_params.get("broadcast", False)):
+            return (
+                "broadcast trace gossip (every in-range neighbour hears each send) "
+                "is not vectorised; it requires the agent engine"
+            )
         if spec.group_relative and spec.environment == "uniform":
             return (
                 "group-relative error accounting needs an environment that defines "
@@ -264,6 +275,26 @@ class VectorizedBackend(ExecutionBackend):
                     return (
                         f"value-change events need a value-carrying kernel; "
                         f"{spec.protocol!r} aggregates counts"
+                    )
+            elif kind == "join":
+                if spec.environment != "uniform":
+                    return (
+                        "'join' events are only vectorised under uniform gossip "
+                        "(a static or trace topology has no slots for new hosts); "
+                        f"environment {spec.environment!r} requires the agent engine"
+                    )
+            elif kind == "churn":
+                if event["model"] not in _VECTOR_FAILURE_MODELS:
+                    models = ", ".join(_VECTOR_FAILURE_MODELS)
+                    return (
+                        f"churn failure model {event['model']!r} is not vectorised "
+                        f"(supported models: {models})"
+                    )
+                if int(event.get("arrivals_per_round", 0)) > 0 and spec.environment != "uniform":
+                    return (
+                        "churn with arrivals is only vectorised under uniform gossip "
+                        "(a static or trace topology has no slots for new hosts); "
+                        f"environment {spec.environment!r} requires the agent engine"
                     )
             else:
                 return f"{kind!r} events require the agent engine"
@@ -320,6 +351,7 @@ class VectorizedBackend(ExecutionBackend):
             built = CSRTopology.from_edges(u, v, spec.n_hosts), "NeighborhoodEnvironment"
         else:
             from repro.environments import SpatialGridEnvironment
+            from repro.environments.trace import TraceEnvironment
 
             environment = spec.build_environment()
             if isinstance(environment, SpatialGridEnvironment):
@@ -330,6 +362,15 @@ class VectorizedBackend(ExecutionBackend):
                     environment.width,
                     environment.height,
                     max_distance=environment.max_distance,
+                )
+            elif isinstance(environment, TraceEnvironment):
+                # Same trace, same per-round instants, same group window —
+                # the compiled CSR replays exactly what the agent
+                # environment would answer round by round (DESIGN.md §12).
+                topology = TraceCSRTopology(
+                    environment.trace,
+                    round_seconds=environment.round_seconds,
+                    group_window_seconds=environment.group_window_seconds,
                 )
             else:
                 topology = CSRTopology.from_adjacency(environment.adjacency, spec.n_hosts)
@@ -418,16 +459,14 @@ class VectorizedBackend(ExecutionBackend):
         kernel = self.build_kernel(spec, topology=topology)
         values = getattr(kernel, "initial", getattr(kernel, "own", None))
         if values is None and any(
-            entry["event"] == "failure" and entry["model"] == "correlated"
+            entry["event"] in ("failure", "churn") and entry["model"] == "correlated"
             for entry in spec.events
         ):
             # Counting kernels carry no values; rebuild the workload so a
             # correlated failure can still order hosts the way the agent does.
             values = spec.build_values()
         values_array = np.asarray(values, dtype=float) if values is not None else None
-        events_by_round: Dict[int, List[dict]] = {}
-        for entry in spec.events:
-            events_by_round.setdefault(int(entry["round"]), []).append(entry)
+        events_by_round = _expand_events(spec)
 
         result = SimulationResult(
             protocol_name=spec.protocol,
@@ -446,9 +485,12 @@ class VectorizedBackend(ExecutionBackend):
             result.metadata["network"] = {"name": spec.network, **dict(spec.network_params)}
         track_delivery = spec.network != "perfect"
         prev_delivered = prev_lost = 0
+        time_varying = isinstance(topology, TraceCSRTopology)
         for t in range(spec.rounds):
+            if time_varying:
+                topology.set_round(t)
             for entry in events_by_round.get(t, ()):
-                self._apply_event(kernel, entry, values_array)
+                values_array = self._apply_event(kernel, entry, values_array)
             kernel.step()
             record = self._record_round(kernel, spec, t)
             if track_delivery:
@@ -463,11 +505,23 @@ class VectorizedBackend(ExecutionBackend):
             result.append(record)
         return result
 
-    def _apply_event(self, kernel, entry: dict, values_array: Optional[np.ndarray]) -> None:
+    def _apply_event(
+        self, kernel, entry: dict, values_array: Optional[np.ndarray]
+    ) -> Optional[np.ndarray]:
+        """Apply one per-round event; returns the (possibly grown) workload array."""
         kind = entry["event"]
         if kind == "value-change":
             kernel.change_values({int(key): float(value) for key, value in entry["values"].items()})
-            return
+            return values_array
+        if kind == "join":
+            # New hosts draw the agent JoinEvent's default workload
+            # (uniform 0..100 per host); the kernel grows its state arrays
+            # and the correlated-failure ordering array grows with it.
+            fresh = kernel.rng.uniform(0.0, 100.0, size=int(entry["count"]))
+            kernel.join(fresh)
+            if values_array is not None:
+                values_array = np.concatenate([values_array, fresh])
+            return values_array
         # failure — instantiate the registered model so parameter defaults
         # and validation stay identical to the agent path.
         params = {k: v for k, v in entry.items() if k not in ("event", "round", "model")}
@@ -485,6 +539,7 @@ class VectorizedBackend(ExecutionBackend):
                 kernel.fail(valid)
         else:  # pragma: no cover - supports() rejects everything else
             raise ValueError(f"failure model {entry['model']!r} is not vectorised")
+        return values_array
 
     @staticmethod
     def _fail_correlated(
@@ -576,6 +631,34 @@ class VectorizedBackend(ExecutionBackend):
         truth = float(truth_per_host.mean())
         group_sizes = float(sizes.mean()) if sizes.size else 0.0
         return truth, deltas, group_sizes
+
+
+def _expand_events(spec: "ScenarioSpec") -> Dict[int, List[dict]]:
+    """Per-round event dicts for the vectorised run loop.
+
+    One-shot events key on their ``"round"``; ``"churn"`` entries unroll
+    exactly the way the agent engine's :class:`~repro.failures.ChurnProcess`
+    does — one failure, then (with arrivals) one join, per round in
+    ``range(start, stop)`` — so both backends apply the same membership
+    schedule round by round.
+    """
+    events_by_round: Dict[int, List[dict]] = {}
+    for entry in spec.events:
+        if entry["event"] != "churn":
+            events_by_round.setdefault(int(entry["round"]), []).append(entry)
+            continue
+        params = {
+            k: v
+            for k, v in entry.items()
+            if k not in ("event", "start", "stop", "model", "arrivals_per_round")
+        }
+        arrivals = int(entry.get("arrivals_per_round", 0))
+        for t in range(int(entry["start"]), min(int(entry["stop"]), spec.rounds)):
+            per_round = events_by_round.setdefault(t, [])
+            per_round.append({"event": "failure", "round": t, "model": entry["model"], **params})
+            if arrivals > 0:
+                per_round.append({"event": "join", "round": t, "count": arrivals})
+    return events_by_round
 
 
 def _network_loss(spec: "ScenarioSpec") -> float:

@@ -183,7 +183,11 @@ class ExchangeAdapter(ProtocolAdapter):
         if event[0] == "xreq":
             _, initiator, responder, size = event
             if responder not in engine._alive_set:
-                engine.delivery.record_lost(bin_index)
+                # Request arrived at a departed host: the request is lost
+                # and the reply will never be sent.  Every attempted
+                # exchange accounts exactly two messages (DESIGN.md §11),
+                # matching the round engine's lost-exchange accounting.
+                engine.delivery.record_lost(bin_index, 2)
                 return
             engine.delivery.record_delivered(bin_index)
             # The responder transmits its reply immediately; the reply bytes

@@ -137,6 +137,10 @@ class EventSimulation(Simulation):
         self.calendar = EventCalendar()
         self._clock_rng = self.streams.get("clocks")
         self._clocks: Dict[int, HostClock] = {}
+        # Hosts with a TICK event currently on the calendar.  Membership
+        # handling consults this to restart the tick chains of hosts that
+        # were revived after their last tick fired unrescheduled.
+        self._pending_ticks: set = set()
         self._inboxes: Dict[int, List] = {}
         self._received: Dict[int, int] = {}
         self._alive_set = set(self.alive_ids())
@@ -206,6 +210,7 @@ class EventSimulation(Simulation):
         first = clock.next_time()
         if first <= self.duration + _TIME_EPS:
             self.calendar.schedule(first, TICK, ("tick", host_id))
+            self._pending_ticks.add(host_id)
 
     # ------------------------------------------------------------------- run
     def run(self, rounds: Optional[int] = None) -> SimulationResult:
@@ -256,9 +261,11 @@ class EventSimulation(Simulation):
 
     # ---------------------------------------------------------------- events
     def _on_tick(self, host_id: int, time: float) -> None:
+        self._pending_ticks.discard(host_id)
         host = self.hosts[host_id]
         if not host.alive:
-            # Dead hosts stop ticking; their clock is never rescheduled.
+            # Dead hosts stop ticking; _on_membership restarts the chain
+            # if a membership model later revives the host.
             return
         bin_index = self._sample_bin(time)
         state = host.state
@@ -279,6 +286,7 @@ class EventSimulation(Simulation):
         next_time = clock.next_time()
         if next_time <= self.duration + _TIME_EPS:
             self.calendar.schedule(next_time, TICK, ("tick", host_id))
+            self._pending_ticks.add(host_id)
 
     def _on_sample(self, sample_index: int, time: float) -> None:
         alive = self.alive_ids()
@@ -308,6 +316,24 @@ class EventSimulation(Simulation):
         # transfer state), so recompute the live set rather than trusting
         # the fail_host/add_host overrides alone.
         self._alive_set = set(self.alive_ids())
+        # Restart the gossip clocks of revived hosts: a host that died
+        # mid-chain had its tick fire without rescheduling, so revival
+        # would otherwise leave it receiving payloads forever without ever
+        # gossiping.  Stale clocks are fast-forwarded on their own grid so
+        # no tick is ever scheduled in the past.
+        for host_id in sorted(self._alive_set):
+            if host_id in self._pending_ticks:
+                continue
+            clock = self._clocks.get(host_id)
+            if clock is None:
+                self._attach_clock(host_id, join_time=time)
+                continue
+            while clock.next_time() <= time + _TIME_EPS:
+                clock.advance()
+            next_time = clock.next_time()
+            if next_time <= self.duration + _TIME_EPS:
+                self.calendar.schedule(next_time, TICK, ("tick", host_id))
+                self._pending_ticks.add(host_id)
         if self._track_mass:
             total = self._total_state_mass()
             delta = total - before

@@ -36,6 +36,8 @@ from repro.environments.trace import TraceEnvironment
 from repro.mobility.synthetic_haggle import haggle_dataset
 from repro.mobility.traces import ContactTrace
 from repro.simulator.engine import Simulation
+from repro.simulator.sparse import TraceCSRTopology
+from repro.simulator.vectorized import VectorizedCountSketchReset, VectorizedPushSumRevert
 from repro.workloads.values import uniform_values
 
 __all__ = ["Fig11DatasetResult", "Fig11Result", "run_fig11", "render_fig11"]
@@ -130,6 +132,44 @@ def _run_protocol(
     return result.errors(), group_sizes
 
 
+def _run_kernel(
+    kernel,
+    topology: TraceCSRTopology,
+    values: np.ndarray,
+    *,
+    rounds: int,
+    count_aggregate: bool,
+) -> Tuple[List[float], List[float]]:
+    """Vectorised replay: per-round (group-relative errors, group sizes).
+
+    Mirrors the agent engine's Fig 11 accounting (and the backend's
+    ``_group_relative_errors``): each live host is scored against its own
+    group's aggregate, groups being the components of the trace's
+    10-minute union window intersected with the alive set.
+    """
+    errors: List[float] = []
+    group_sizes: List[float] = []
+    for t in range(rounds):
+        topology.set_round(t)
+        kernel.step()
+        alive_idx = np.nonzero(kernel.alive)[0]
+        if alive_idx.size == 0:
+            errors.append(float("nan"))
+            group_sizes.append(float("nan"))
+            continue
+        labels, sizes = topology.component_labels(kernel.alive)
+        live_labels = labels[alive_idx]
+        if count_aggregate:
+            group_truth = sizes.astype(float)
+        else:
+            sums = np.bincount(live_labels, weights=values[alive_idx], minlength=sizes.size)
+            group_truth = sums / np.maximum(sizes, 1)
+        deltas = kernel.estimates() - group_truth[live_labels]
+        errors.append(float(np.sqrt(np.mean(deltas**2))))
+        group_sizes.append(float(sizes.mean()) if sizes.size else float("nan"))
+    return errors, group_sizes
+
+
 def run_fig11(
     datasets: Sequence[int] = (1, 2),
     *,
@@ -142,13 +182,19 @@ def run_fig11(
     bits: int = 16,
     identifiers_per_host: int = 100,
     seed: int = 0,
+    backend: str = "agent",
 ) -> Fig11Result:
     """Replay the trace-driven experiment for the requested datasets.
 
     ``max_hours`` truncates each trace (``None`` replays it in full — the
     configuration used for the committed EXPERIMENTS.md numbers is recorded
-    there).
+    there).  ``backend="vectorized"`` replays the same traces on the NumPy
+    kernels over a :class:`~repro.simulator.sparse.TraceCSRTopology` —
+    statistically equivalent but not bit-identical to the agent default
+    (DESIGN.md §7, §12), and the route for large synthetic device counts.
     """
+    if backend not in ("agent", "vectorized"):
+        raise ValueError(f"unknown fig11 backend {backend!r}; expected 'agent' or 'vectorized'")
     variants = size_variants if size_variants is not None else _default_size_variants()
     result = Fig11Result(
         round_seconds=round_seconds,
@@ -173,17 +219,38 @@ def run_fig11(
             round_seconds=round_seconds,
         )
 
-        group_size_series: Optional[List[float]] = None
-        for reversion in average_lambdas:
-            errors, group_sizes = _run_protocol(
-                PushSumRevert(float(reversion)),
+        topology: Optional[TraceCSRTopology] = None
+        if backend == "vectorized":
+            topology = TraceCSRTopology(
                 trace,
-                values,
-                rounds=total_rounds,
                 round_seconds=round_seconds,
                 group_window_seconds=group_window_seconds,
-                seed=seed,
             )
+        values_array = np.asarray(list(values), dtype=float)
+
+        group_size_series: Optional[List[float]] = None
+        for reversion in average_lambdas:
+            if topology is not None:
+                kernel = VectorizedPushSumRevert(
+                    values_array,
+                    float(reversion),
+                    mode="pushpull",
+                    topology=topology,
+                    seed=seed,
+                )
+                errors, group_sizes = _run_kernel(
+                    kernel, topology, values_array, rounds=total_rounds, count_aggregate=False
+                )
+            else:
+                errors, group_sizes = _run_protocol(
+                    PushSumRevert(float(reversion)),
+                    trace,
+                    values,
+                    rounds=total_rounds,
+                    round_seconds=round_seconds,
+                    group_window_seconds=group_window_seconds,
+                    seed=seed,
+                )
             dataset_result.average_errors[f"lambda={reversion:g}"] = _hourly(
                 errors, rounds_per_hour
             )
@@ -191,21 +258,36 @@ def run_fig11(
                 group_size_series = group_sizes
 
         for label, cutoff in variants.items():
-            protocol = CountSketchReset(
-                bins,
-                bits,
-                cutoff=cutoff,
-                identifiers_per_host=identifiers_per_host,
-            )
-            errors, group_sizes = _run_protocol(
-                protocol,
-                trace,
-                values,
-                rounds=total_rounds,
-                round_seconds=round_seconds,
-                group_window_seconds=group_window_seconds,
-                seed=seed,
-            )
+            if topology is not None:
+                kernel = VectorizedCountSketchReset(
+                    trace.n_devices,
+                    bins=bins,
+                    bits=bits,
+                    cutoff=cutoff,
+                    identifiers_per_host=identifiers_per_host,
+                    pull=True,
+                    topology=topology,
+                    seed=seed,
+                )
+                errors, group_sizes = _run_kernel(
+                    kernel, topology, values_array, rounds=total_rounds, count_aggregate=True
+                )
+            else:
+                protocol = CountSketchReset(
+                    bins,
+                    bits,
+                    cutoff=cutoff,
+                    identifiers_per_host=identifiers_per_host,
+                )
+                errors, group_sizes = _run_protocol(
+                    protocol,
+                    trace,
+                    values,
+                    rounds=total_rounds,
+                    round_seconds=round_seconds,
+                    group_window_seconds=group_window_seconds,
+                    seed=seed,
+                )
             dataset_result.size_errors[label] = _hourly(errors, rounds_per_hour)
             if group_size_series is None:
                 group_size_series = group_sizes

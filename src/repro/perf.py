@@ -62,6 +62,8 @@ AGENT_SIZE_CAPS = {
     "push-sum-revert-lossy": 10_000,
     "push-sum-revert-ring": 10_000,
     "push-sum-revert-grid": 10_000,
+    "push-sum-revert-churn": 10_000,
+    "push-sum-revert-trace": 2_000,
     "count-sketch-reset": 2_000,
     "push-sum-revert-events": 2_000,
 }
@@ -74,15 +76,20 @@ AGENT_ONLY_PROTOCOLS = ("push-sum-revert-events",)
 #: network, the lossy-network variant (Bernoulli loss exercises the
 #: delivery layer on the agent engine and the loss path in the kernel),
 #: two topology-restricted rows (ring and grid gossip through the
-#: sparse-adjacency samplers of :mod:`repro.simulator.sparse`), and an
-#: event-engine row (latency x exchange on the continuous-time calendar
-#: of :mod:`repro.events` — agent-only, tracking the calendar's cost).
+#: sparse-adjacency samplers of :mod:`repro.simulator.sparse`), a churn
+#: row (continuous departures + arrivals — the mutable-membership path of
+#: DESIGN.md §12), a trace-replay row (contact-trace gossip through the
+#: time-varying CSR with group-relative error), and an event-engine row
+#: (latency x exchange on the continuous-time calendar of
+#: :mod:`repro.events` — agent-only, tracking the calendar's cost).
 DEFAULT_PROTOCOLS = (
     "push-sum-revert",
     "count-sketch-reset",
     "push-sum-revert-lossy",
     "push-sum-revert-ring",
     "push-sum-revert-grid",
+    "push-sum-revert-churn",
+    "push-sum-revert-trace",
     "push-sum-revert-events",
 )
 
@@ -161,6 +168,44 @@ def _bench_spec(protocol: str, n_hosts: int, rounds: int, backend: str, seed: in
             rounds=rounds,
             seed=seed,
             events=(failure,),
+            backend=backend,
+            name=f"bench {protocol} n={n_hosts} ({backend})",
+        )
+    if protocol == "push-sum-revert-churn":
+        # The churn row: a failure draw plus fresh arrivals every round
+        # from the halfway point on — the kernels mask and grow their
+        # arrays each round instead of running the steady-state loop.
+        churn = {
+            "event": "churn",
+            "start": failure_round,
+            "stop": rounds,
+            "model": "uncorrelated",
+            "fraction": 0.02,
+            "arrivals_per_round": max(1, n_hosts // 100),
+        }
+        return ScenarioSpec(
+            protocol="push-sum-revert",
+            protocol_params={"reversion": 0.1},
+            n_hosts=n_hosts,
+            rounds=rounds,
+            seed=seed,
+            events=(churn,),
+            backend=backend,
+            name=f"bench {protocol} n={n_hosts} ({backend})",
+        )
+    if protocol == "push-sum-revert-trace":
+        # The trace-replay row: a synthetic contact trace compiled to the
+        # per-round time-varying CSR, with group-relative error against
+        # the union-window components (DESIGN.md §12).
+        return ScenarioSpec(
+            protocol="push-sum-revert",
+            protocol_params={"reversion": 0.1},
+            environment="trace",
+            environment_params={"devices": n_hosts, "hours": 1.0},
+            n_hosts=n_hosts,
+            rounds=rounds,
+            group_relative=True,
+            seed=seed,
             backend=backend,
             name=f"bench {protocol} n={n_hosts} ({backend})",
         )

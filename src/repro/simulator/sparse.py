@@ -36,6 +36,7 @@ accounting à la Fig 11).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -45,6 +46,7 @@ from repro.topology.connectivity import connected_components
 __all__ = [
     "CSRTopology",
     "GridRingTopology",
+    "TraceCSRTopology",
     "greedy_edge_matching",
 ]
 
@@ -300,6 +302,179 @@ class CSRTopology(_Topology):
             int(node): {int(peer) for peer in indices[indptr[node] : indptr[node + 1]]}
             for node in live_nodes
         }
+
+
+def _min_label_components(u: np.ndarray, v: np.ndarray, n: int) -> np.ndarray:
+    """Per-node component label via vectorised min-label propagation.
+
+    Each node starts labelled with its own index; every pass pulls the
+    minimum label across each edge and then pointer-jumps (``labels =
+    labels[labels]``) until stable, so convergence needs O(log diameter)
+    passes rather than O(diameter).  Isolated nodes keep their own index,
+    i.e. they are singleton components — the same convention as
+    :func:`repro.topology.connectivity.connected_components`.
+    """
+    labels = np.arange(n, dtype=np.int64)
+    if u.size == 0:
+        return labels
+    while True:
+        gathered = np.minimum(labels[u], labels[v])
+        np.minimum.at(labels, u, gathered)
+        np.minimum.at(labels, v, gathered)
+        while True:
+            jumped = labels[labels]
+            if np.array_equal(jumped, labels):
+                break
+            labels = jumped
+        if np.array_equal(labels[u], labels[v]):
+            return labels
+
+
+class TraceCSRTopology(_Topology):
+    """A contact trace replayed as a per-round time-varying CSR graph.
+
+    This is the vectorised counterpart of
+    :class:`~repro.environments.TraceEnvironment`: round ``t`` happens at
+    simulated time ``t * round_seconds``, the edges in range at that
+    instant form the gossip graph, and the paper's "nearby group" is the
+    connected components of the *union* of every edge seen in the last
+    ``group_window_seconds``.
+
+    The trace's merged contact intervals are held as flat NumPy arrays
+    ``(u, v, start, end)``; the backend calls :meth:`set_round` before each
+    kernel step, and the per-round live graph is materialised on demand as
+    an ordinary :class:`CSRTopology` (one vectorised interval mask + one
+    ``from_edges`` build, LRU-cached per round, so multi-seed sweeps that
+    share the topology compile each round once).  ``sample_peers`` /
+    ``sample_matching`` then reuse ``CSRTopology``'s live-edge rebuild
+    unchanged, and group labels come from a vectorised min-label component
+    pass over the window-union edges.
+
+    Parameters
+    ----------
+    trace:
+        The :class:`~repro.mobility.traces.ContactTrace` to replay.
+    round_seconds:
+        Simulated seconds per gossip round (the paper gossips every 30 s).
+    group_window_seconds:
+        Length of the group-union window (0 groups by the instantaneous
+        graph, like the agent environment).
+    cache_rounds:
+        Number of per-round compiled graphs kept in each LRU cache.
+    """
+
+    def __init__(
+        self,
+        trace,
+        *,
+        round_seconds: float = 30.0,
+        group_window_seconds: float = 600.0,
+        cache_rounds: int = 32,
+    ):
+        if round_seconds <= 0:
+            raise ValueError("round_seconds must be positive")
+        if group_window_seconds < 0:
+            raise ValueError("group_window_seconds must be non-negative")
+        if cache_rounds < 1:
+            raise ValueError("cache_rounds must be >= 1")
+        self.n = int(trace.n_devices)
+        self.round_seconds = float(round_seconds)
+        self.group_window_seconds = float(group_window_seconds)
+        self.total_rounds = int(trace.duration // self.round_seconds) + 1
+        self._cache_rounds = int(cache_rounds)
+        records = trace.records
+        self._u = np.fromiter((r.a for r in records), dtype=np.int64, count=len(records))
+        self._v = np.fromiter((r.b for r in records), dtype=np.int64, count=len(records))
+        self._start = np.fromiter(
+            (r.start for r in records), dtype=float, count=len(records)
+        )
+        self._end = np.fromiter((r.end for r in records), dtype=float, count=len(records))
+        self._round = 0
+        self._csr_cache: "OrderedDict[int, CSRTopology]" = OrderedDict()
+        self._labels_by_round: "OrderedDict[int, np.ndarray]" = OrderedDict()
+
+    # ---------------------------------------------------------------- rounds
+    def set_round(self, round_index: int) -> None:
+        """Select the round whose contact graph subsequent calls sample."""
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        self._round = int(round_index)
+
+    def time_of_round(self, round_index: int) -> float:
+        """Simulated time at which ``round_index`` happens."""
+        return round_index * self.round_seconds
+
+    def _round_csr(self, round_index: int) -> CSRTopology:
+        """The instantaneous contact graph of one round (LRU-cached)."""
+        cached = self._csr_cache.get(round_index)
+        if cached is not None:
+            self._csr_cache.move_to_end(round_index)
+            return cached
+        time = self.time_of_round(round_index)
+        active = (self._start <= time) & (time < self._end)
+        csr = CSRTopology.from_edges(self._u[active], self._v[active], self.n)
+        self._csr_cache[round_index] = csr
+        while len(self._csr_cache) > self._cache_rounds:
+            self._csr_cache.popitem(last=False)
+        return csr
+
+    def _union_labels(self, round_index: int) -> np.ndarray:
+        """Component labels of the full window-union graph (LRU-cached).
+
+        Matches ``TraceEnvironment.groups``: the union covers every edge
+        overlapping ``[time - window, time + 1e-9)`` regardless of which
+        hosts are currently alive (a dead host can still bridge a group),
+        and the intersection with the live set happens per call in
+        :meth:`component_labels`.
+        """
+        cached = self._labels_by_round.get(round_index)
+        if cached is not None:
+            self._labels_by_round.move_to_end(round_index)
+            return cached
+        time = self.time_of_round(round_index)
+        in_window = (self._start < time + 1e-9) & (
+            self._end > time - self.group_window_seconds
+        )
+        labels = _min_label_components(self._u[in_window], self._v[in_window], self.n)
+        self._labels_by_round[round_index] = labels
+        while len(self._labels_by_round) > self._cache_rounds:
+            self._labels_by_round.popitem(last=False)
+        return labels
+
+    # ------------------------------------------------------------- sampling
+    def sample_peers(
+        self, requesters: np.ndarray, alive: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self._round_csr(self._round).sample_peers(requesters, alive, rng)
+
+    def _live_adjacency(self, alive: np.ndarray) -> Adjacency:
+        return self._round_csr(self._round)._live_adjacency(alive)
+
+    # ----------------------------------------------------------- components
+    def component_labels(self, alive: np.ndarray):
+        """``(labels, sizes)`` of the window-union groups among live hosts.
+
+        Groups are the full-union components intersected with the live
+        set (empty intersections dropped, exactly like the agent
+        environment's group rule), relabelled ``0..k-1``; a live host with
+        no window contacts is its own group of one.
+        """
+        full = self._union_labels(self._round)
+        live = np.nonzero(alive)[0]
+        labels = np.full(self.n, -1, dtype=np.int64)
+        if live.size == 0:
+            return labels, np.zeros(0, dtype=np.int64)
+        unique, remapped = np.unique(full[live], return_inverse=True)
+        labels[live] = remapped
+        sizes = np.bincount(remapped, minlength=unique.size).astype(np.int64)
+        return labels, sizes
+
+    def components(self, alive: np.ndarray) -> List[Set[int]]:
+        labels, sizes = self.component_labels(alive)
+        parts: List[Set[int]] = [set() for _ in range(sizes.size)]
+        for host in np.nonzero(alive)[0]:
+            parts[labels[host]].add(int(host))
+        return parts
 
 
 class GridRingTopology(_Topology):

@@ -129,6 +129,46 @@ class _VectorizedKernel:
         for _ in range(rounds):
             self.step()
 
+    # ------------------------------------------------------------- membership
+    def join(self, values: Sequence[float]) -> np.ndarray:
+        """Grow the population: one new live host per value; returns their ids.
+
+        New hosts get fresh per-host state exactly as the agent engine's
+        ``add_host`` does (a joining host knows only itself), and host ids
+        extend the existing range, matching the agent engine's
+        ``_next_host_id`` assignment.  Joins are uniform-gossip only: a
+        static or trace topology has no slots (or edges) for new hosts, so
+        those scenarios stay on the agent engine.
+        """
+        fresh = np.asarray(list(values), dtype=float)
+        if fresh.size == 0:
+            return np.array([], dtype=np.int64)
+        if getattr(self, "topology", None) is not None:
+            raise ValueError(
+                "joins under a topology are not vectorised; "
+                "topology-restricted joins require the agent engine"
+            )
+        start = self.n
+        self.n = start + fresh.size
+        self.alive = np.concatenate([self.alive, np.ones(fresh.size, dtype=bool)])
+        self._grow(fresh, start)
+        return np.arange(start, self.n, dtype=np.int64)
+
+    def _grow(self, values: np.ndarray, start: int) -> None:
+        """Append per-host state rows for hosts ``start .. start+len(values)``."""
+        raise NotImplementedError
+
+    def depart_gracefully(self, host_indices: Sequence[int]) -> None:
+        """Remove hosts that sign off cleanly, transferring state if possible.
+
+        The default is indistinguishable from a silent failure; kernels
+        whose protocols define a hand-over (:meth:`VectorizedPushSumRevert.
+        depart_gracefully` transfers mass, the counter kernel disowns its
+        sketch positions) override this to mirror
+        :class:`repro.core.departure.GracefulDepartureEvent`.
+        """
+        self.fail(host_indices)
+
     # --------------------------------------------------------------- failures
     def fail(self, host_indices: Sequence[int]) -> None:
         """Silently remove the given hosts from the computation."""
@@ -409,6 +449,46 @@ class VectorizedPushSumRevert(_ValueKernel):
             self._history_total[idx, 0] = new_total[idx]
             self._history_filled[idx] = np.minimum(self._history_filled[idx] + 1, self.history)
 
+    # ------------------------------------------------------------- membership
+    def _grow(self, values: np.ndarray, start: int) -> None:
+        count = values.size
+        self.initial = np.concatenate([self.initial, values])
+        self.weight = np.concatenate([self.weight, np.ones(count, dtype=float)])
+        self.total = np.concatenate([self.total, values])
+        self._last_estimate = np.concatenate([self._last_estimate, values])
+        self._history_weight = np.concatenate(
+            [self._history_weight, np.zeros((count, self.history), dtype=float)]
+        )
+        self._history_total = np.concatenate(
+            [self._history_total, np.zeros((count, self.history), dtype=float)]
+        )
+        self._history_filled = np.concatenate(
+            [self._history_filled, np.zeros(count, dtype=np.int64)]
+        )
+
+    def depart_gracefully(self, host_indices: Sequence[int]) -> None:
+        """Sign-off departure: each leaver hands its mass to a random survivor.
+
+        Mirrors :func:`repro.core.departure.sign_off_mass` — the departing
+        weight/total move to a live peer, so the conserved mass stays in the
+        system and the average re-converges instead of drifting.  With no
+        survivors left the mass leaves the system (tracked in
+        :attr:`mass_lost`).
+        """
+        indices = np.asarray(list(host_indices), dtype=np.int64)
+        if indices.size == 0:
+            return
+        self.alive[indices] = False
+        survivors = np.nonzero(self.alive)[0]
+        if survivors.size == 0:
+            self.mass_lost += float(self.weight[indices].sum())
+        else:
+            heirs = survivors[self.rng.integers(0, survivors.size, size=indices.size)]
+            np.add.at(self.weight, heirs, self.weight[indices])
+            np.add.at(self.total, heirs, self.total[indices])
+        self.weight[indices] = 0.0
+        self.total[indices] = 0.0
+
     # ------------------------------------------------- failures/value changes
     def fail_highest_fraction(self, fraction: float) -> np.ndarray:
         """Fail the highest-valued fraction of live hosts (correlated failure)."""
@@ -533,6 +613,33 @@ class VectorizedCountSketchReset(_VectorizedKernel):
         )
         self.counters[self.own_mask] = 0
 
+    # ------------------------------------------------------------- membership
+    def _grow(self, values: np.ndarray, start: int) -> None:
+        count = values.size
+        new_own = _geometric_identifier_mask(
+            self.rng, count, self.bins, self.bits, self.identifiers_per_host
+        )
+        new_counters = np.full(
+            (count, self.bins, self.bits), _COUNTER_INFINITY, dtype=np.int16
+        )
+        new_counters[new_own] = 0
+        self.counters = np.concatenate([self.counters, new_counters])
+        self.own_mask = np.concatenate([self.own_mask, new_own])
+
+    def depart_gracefully(self, host_indices: Sequence[int]) -> None:
+        """Sign-off departure: the leaver disowns its sketch positions.
+
+        Mirrors :func:`repro.core.departure.sign_off_counters` — the
+        departed host's identifiers stop being refreshed, so their counters
+        age past the cutoff and the live count drops without waiting for
+        the silent-failure detection delay.
+        """
+        indices = np.asarray(list(host_indices), dtype=np.int64)
+        if indices.size == 0:
+            return
+        self.own_mask[indices] = False
+        self.alive[indices] = False
+
     # ------------------------------------------------------------------ steps
     def step(self) -> None:
         """Execute one gossip round over the live hosts."""
@@ -655,6 +762,17 @@ class VectorizedSketchCount(_VectorizedKernel):
         self.round_index = 0
         self.matrix = _geometric_identifier_mask(
             self.rng, self.n, self.bins, self.bits, self.identifiers_per_host
+        )
+
+    # ------------------------------------------------------------- membership
+    def _grow(self, values: np.ndarray, start: int) -> None:
+        self.matrix = np.concatenate(
+            [
+                self.matrix,
+                _geometric_identifier_mask(
+                    self.rng, values.size, self.bins, self.bits, self.identifiers_per_host
+                ),
+            ]
         )
 
     # ------------------------------------------------------------------ steps
@@ -790,6 +908,16 @@ class VectorizedExtrema(_ValueKernel):
                 array[left] = array[winner]
                 array[right] = array[winner]
         self.round_index += 1
+
+    # ------------------------------------------------------------- membership
+    def _grow(self, values: np.ndarray, start: int) -> None:
+        count = values.size
+        self.own = np.concatenate([self.own, values])
+        self.best_value = np.concatenate([self.best_value, values])
+        self.best_id = np.concatenate(
+            [self.best_id, np.arange(start, start + count, dtype=np.int64)]
+        )
+        self.best_age = np.concatenate([self.best_age, np.zeros(count, dtype=np.int64)])
 
     # ---------------------------------------------------------- value changes
     def _host_values(self) -> np.ndarray:

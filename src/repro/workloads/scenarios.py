@@ -179,7 +179,7 @@ def counting_failure_scenario(
 def trace_scenario(
     dataset: int = 1,
     *,
-    seed: int = 0,
+    seed: Optional[int] = None,
     round_seconds: float = 30.0,
     group_window_seconds: float = 600.0,
     max_rounds: Optional[int] = None,
@@ -190,11 +190,14 @@ def trace_scenario(
 
     Errors are group-relative: each host is compared against the aggregate
     of the hosts reachable from it over the union of the last 10 minutes of
-    contacts, exactly as in the paper.
+    contacts, exactly as in the paper.  ``seed`` is passed to the trace
+    generator verbatim (``None`` keeps the dataset's default seed, the
+    committed-figure configuration) and also seeds the value workload.
     """
-    trace = haggle_dataset(dataset, seed=None if seed == 0 else seed)
+    trace = haggle_dataset(dataset, seed=seed)
     n_devices = trace.n_devices
-    host_values = list(values) if values is not None else uniform_values(n_devices, seed=seed)
+    values_seed = 0 if seed is None else seed
+    host_values = list(values) if values is not None else uniform_values(n_devices, seed=values_seed)
     if len(host_values) != n_devices:
         raise ValueError(
             f"expected {n_devices} values for dataset {dataset}, got {len(host_values)}"
@@ -207,7 +210,10 @@ def trace_scenario(
             group_window_seconds=group_window_seconds,
         )
 
-    total_rounds = build().total_rounds()
+    # Rounds come straight off the trace (one per round_seconds of
+    # simulated time, inclusive of t=0) — no need to build and parse a
+    # whole throwaway environment just to ask it.
+    total_rounds = int(trace.duration // round_seconds) + 1
     rounds = total_rounds if max_rounds is None else min(max_rounds, total_rounds)
     return Scenario(
         name=f"trace-dataset-{dataset}",

@@ -242,6 +242,48 @@ SUPPORTED_COMBOS = [
              environment="grid", n_hosts=N_HOSTS, rounds=50),
         0.06,
     ),
+    # ---- dynamic membership combos (joins, churn, trace replay) ---------
+    (
+        "push-sum-revert+join",
+        dict(protocol="push-sum-revert", protocol_params={"reversion": 0.1},
+             n_hosts=N_HOSTS, rounds=40,
+             events=({"event": "join", "round": 10, "count": 16},)),
+        0.12,
+    ),
+    (
+        "push-sum-revert+churn",
+        dict(protocol="push-sum-revert", protocol_params={"reversion": 0.1},
+             n_hosts=N_HOSTS, rounds=40,
+             events=({"event": "churn", "start": 10, "stop": 25,
+                      "model": "uncorrelated", "fraction": 0.02,
+                      "arrivals_per_round": 2},)),
+        0.12,
+    ),
+    (
+        "push-sum-revert/ring+churn-failures-only",
+        dict(protocol="push-sum-revert", protocol_params={"reversion": 0.1},
+             environment="ring", n_hosts=N_HOSTS, rounds=40,
+             events=({"event": "churn", "start": 10, "stop": 20,
+                      "model": "uncorrelated", "fraction": 0.01},)),
+        0.15,
+    ),
+    (
+        "count-sketch-reset+churn",
+        dict(protocol="count-sketch-reset",
+             protocol_params={"bins": 16, "bits": 16, "cutoff": "default"},
+             workload="constant", n_hosts=N_HOSTS, rounds=40,
+             events=({"event": "churn", "start": 10, "stop": 25,
+                      "model": "uncorrelated", "fraction": 0.03,
+                      "arrivals_per_round": 2},)),
+        0.40,
+    ),
+    (
+        "push-sum-revert/trace",
+        dict(protocol="push-sum-revert", protocol_params={"reversion": 0.05},
+             environment="trace", environment_params={"devices": 64, "hours": 2.0},
+             n_hosts=N_HOSTS, rounds=60, group_relative=True),
+        0.15,
+    ),
 ]
 
 COMBO_IDS = [combo_id for combo_id, _kwargs, _tol in SUPPORTED_COMBOS]
@@ -354,6 +396,56 @@ class TestBackendEquivalence:
         assert vector.final_error() <= 0.25 * abs(vector.final_truth())
         assert agent.final_error() <= 0.25 * abs(agent.final_truth())
 
+    def test_trace_replay_matches_agent_group_structure(self):
+        # The compiled per-round CSR must replay *exactly* the adjacency and
+        # group structure the agent environment answers: identical truths
+        # and mean group sizes every single round.
+        spec = ScenarioSpec(
+            protocol="push-sum-revert", protocol_params={"reversion": 0.05},
+            environment="trace", environment_params={"dataset": 1},
+            n_hosts=9, rounds=300, group_relative=True, seed=4,
+        )
+        assert spec.resolved_backend() == "vectorized"
+        vector = run_scenario(spec.replace(backend="vectorized"))
+        agent = run_scenario(spec.replace(backend="agent"))
+        assert vector.truths() == agent.truths()
+        assert vector.group_size_series() == agent.group_size_series()
+        assert vector.alive_counts() == agent.alive_counts()
+
+    def test_trace_replay_bit_deterministic(self):
+        kwargs = dict(
+            protocol="push-sum-revert", protocol_params={"reversion": 0.05},
+            environment="trace", environment_params={"devices": 32, "hours": 1.0},
+            n_hosts=32, rounds=40, group_relative=True, backend="vectorized",
+        )
+        first = run_scenario(ScenarioSpec(seed=7, **kwargs))
+        second = run_scenario(ScenarioSpec(seed=7, **kwargs))
+        assert first.errors() == second.errors()
+        assert first.truths() == second.truths()
+        assert first.group_size_series() == second.group_size_series()
+
+    def test_churn_bit_deterministic_with_joins(self):
+        kwargs = dict(
+            protocol="push-sum-revert", protocol_params={"reversion": 0.1},
+            n_hosts=64, rounds=30, backend="vectorized",
+            events=({"event": "churn", "start": 5, "stop": 20,
+                     "model": "uncorrelated", "fraction": 0.03,
+                     "arrivals_per_round": 2},),
+        )
+        first = run_scenario(ScenarioSpec(seed=9, **kwargs))
+        second = run_scenario(ScenarioSpec(seed=9, **kwargs))
+        assert first.errors() == second.errors()
+        assert first.alive_counts() == second.alive_counts()
+
+    def test_join_growth_visible_in_alive_counts(self):
+        spec = ScenarioSpec(
+            protocol="push-sum-revert", n_hosts=32, rounds=10,
+            events=({"event": "join", "round": 4, "count": 8},),
+        )
+        for backend in ("agent", "vectorized"):
+            counts = run_scenario(spec.replace(backend=backend)).alive_counts()
+            assert counts[3] == 32 and counts[4] == 40, backend
+
     def test_erdos_renyi_environment_is_seed_deterministic(self):
         base = ScenarioSpec(protocol="push-sum-revert", environment="erdos-renyi",
                             environment_params={"p": 0.2, "graph_seed": 11},
@@ -416,16 +508,33 @@ class TestAutoDispatch:
             assert result.metadata["environment"] != "UniformEnvironment"
 
     def test_unsupported_scenarios_fall_back_to_agent(self):
-        trace = ScenarioSpec(protocol="push-sum-revert", environment="trace",
-                             n_hosts=9, rounds=5)
-        assert resolve_backend(trace) == "agent"
+        broadcast_trace = ScenarioSpec(
+            protocol="push-sum-revert", environment="trace",
+            environment_params={"dataset": 1, "broadcast": True},
+            n_hosts=9, rounds=5)
+        assert resolve_backend(broadcast_trace) == "agent"
         full_transfer_ring = ScenarioSpec(
             protocol="push-sum-revert-full-transfer", environment="ring",
             mode="push", n_hosts=64, rounds=5)
         assert resolve_backend(full_transfer_ring) == "agent"
+        joins_on_ring = ScenarioSpec(
+            protocol="push-sum-revert", environment="ring", n_hosts=64, rounds=5,
+            events=({"event": "join", "round": 2, "count": 4},))
+        assert resolve_backend(joins_on_ring) == "agent"
+
+    def test_dynamic_membership_scenarios_go_vectorized(self):
+        trace = ScenarioSpec(protocol="push-sum-revert", environment="trace",
+                             n_hosts=9, rounds=5)
+        assert resolve_backend(trace) == "vectorized"
         joins = ScenarioSpec(protocol="push-sum-revert", n_hosts=64, rounds=5,
                              events=({"event": "join", "round": 2, "count": 4},))
-        assert resolve_backend(joins) == "agent"
+        assert resolve_backend(joins) == "vectorized"
+        churn = ScenarioSpec(
+            protocol="push-sum-revert", n_hosts=64, rounds=5,
+            events=({"event": "churn", "start": 1, "stop": 3,
+                     "model": "uncorrelated", "fraction": 0.01,
+                     "arrivals_per_round": 1},))
+        assert resolve_backend(churn) == "vectorized"
 
     def test_explicit_agent_is_respected(self):
         spec = ScenarioSpec(protocol="push-sum-revert", n_hosts=64, rounds=5,
@@ -467,9 +576,14 @@ class TestEagerBackendValidation:
                 protocol="push-sum-revert-full-transfer", environment="ring",
                 mode="push"))
 
-    def test_trace_environment_rejected(self):
-        with pytest.raises(ValueError, match="not vectorised"):
-            ScenarioSpec(**self.base_kwargs(environment="trace", n_hosts=9))
+    def test_broadcast_trace_rejected(self):
+        # Point-to-point trace replay is vectorised; the broadcast variant
+        # (every in-range neighbour hears each send) stays agent-only.
+        with pytest.raises(ValueError, match="broadcast trace"):
+            ScenarioSpec(**self.base_kwargs(
+                environment="trace",
+                environment_params={"dataset": 1, "broadcast": True},
+                n_hosts=9))
 
     def test_group_relative_on_uniform_rejected(self):
         # Uniform gossip defines no groups on either backend; the topology
@@ -495,17 +609,31 @@ class TestEagerBackendValidation:
                 events=({"event": "failure", "round": 2, "model": "bernoulli", "p": 0.1},)
             ))
 
-    def test_join_events_rejected(self):
-        with pytest.raises(ValueError, match="'join' events require the agent engine"):
+    def test_join_events_on_topology_rejected(self):
+        # Joins are vectorised under uniform gossip only; a static or trace
+        # topology has no slots for new hosts.
+        for environment, params in (("ring", {}), ("trace", {"dataset": 1})):
+            with pytest.raises(ValueError, match="only vectorised under uniform gossip"):
+                ScenarioSpec(**self.base_kwargs(
+                    environment=environment, environment_params=params,
+                    n_hosts=9 if environment == "trace" else 32,
+                    events=({"event": "join", "round": 2, "count": 4},)
+                ))
+
+    def test_churn_arrivals_on_topology_rejected(self):
+        with pytest.raises(ValueError, match="churn with arrivals"):
             ScenarioSpec(**self.base_kwargs(
-                events=({"event": "join", "round": 2, "count": 4},)
+                environment="ring",
+                events=({"event": "churn", "start": 1, "stop": 3,
+                         "model": "uncorrelated", "fraction": 0.01,
+                         "arrivals_per_round": 2},)
             ))
 
-    def test_churn_events_rejected(self):
-        with pytest.raises(ValueError, match="require the agent engine"):
+    def test_churn_with_unvectorised_model_rejected(self):
+        with pytest.raises(ValueError, match="churn failure model 'bernoulli'"):
             ScenarioSpec(**self.base_kwargs(
                 events=({"event": "churn", "start": 1, "stop": 3,
-                         "model": "uncorrelated", "fraction": 0.01},)
+                         "model": "bernoulli", "p": 0.1},)
             ))
 
     @pytest.mark.parametrize("bad_cutoff", ["default", [7.0, 0.25], 2.5, True])
@@ -541,8 +669,9 @@ class TestEagerBackendValidation:
         backend = BACKENDS.get("vectorized")
         assert isinstance(backend, VectorizedBackend)
         spec = ScenarioSpec(protocol="push-sum-revert", environment="trace",
+                            environment_params={"dataset": 1, "broadcast": True},
                             n_hosts=9, rounds=4)
         reason = backend.supports(spec)
-        assert reason is not None and "trace" in reason
-        with pytest.raises(ValueError, match="trace"):
+        assert reason is not None and "broadcast" in reason
+        with pytest.raises(ValueError, match="broadcast"):
             backend.run(spec)

@@ -19,7 +19,7 @@ from repro.events import (
     make_clock,
 )
 from repro.failures import ExplicitFailure, FailureEvent, JoinEvent, ValueChangeEvent
-from repro.network import LatencyNetwork, MassConservationError
+from repro.network import BernoulliLossNetwork, LatencyNetwork, MassConservationError
 from repro.simulator import Simulation
 from repro.workloads import uniform_values
 
@@ -399,6 +399,164 @@ class TestScenarioSpec:
         assert result.metadata["backend"] == "agent"
         assert result.metadata["engine"]["name"] == "events"
         assert result.times() == [float(j) for j in range(1, 9)]
+
+
+# ---------------------------------------------------------------------------
+# Membership: clock restarts and exchange accounting
+# ---------------------------------------------------------------------------
+class _ReviveEvent:
+    """Scheduled membership event bringing explicit hosts back to life.
+
+    Mirrors what a churn model's revival path does: the hosts are mutated
+    directly, so only the engine's post-membership clock restart can get
+    them gossiping again.
+    """
+
+    def __init__(self, round, host_ids):
+        self.round = round
+        self.host_ids = list(host_ids)
+
+    def apply(self, simulation, round_index):
+        for host_id in self.host_ids:
+            simulation.hosts[host_id].revive(round_index)
+
+
+class TestMembershipClocks:
+    def test_revived_hosts_resume_ticking(self):
+        # Regression: a host that dies has its pending tick fire without
+        # rescheduling, so before the post-membership clock restart a
+        # revived host never gossiped again — it sat in the alive set
+        # soaking up payloads with a frozen estimate forever.
+        sim = event_simulation(
+            events=[
+                FailureEvent(round=4, model=ExplicitFailure([0, 1])),
+                _ReviveEvent(10, [0, 1]),
+            ]
+        )
+        result = sim.run()
+        record = result.final_record()
+        assert record.n_alive == 48
+        truth = record.truth
+        for host_id in (0, 1):
+            # The tick chain restarted: the clock kept advancing past the
+            # end of the run instead of freezing at the time of death...
+            assert sim._clocks[host_id].next_time() > sim.duration
+            # ...and the host re-converged with everyone else.
+            estimate = sim.protocol.estimate(sim.hosts[host_id].state)
+            assert abs(estimate - truth) < 10.0
+
+    def test_revival_keeps_the_mass_books_balanced(self):
+        # mass_check="event" in event_simulation(): the departure's mass
+        # removal and the revival's re-injection must both be booked, or
+        # the per-event conservation check raises mid-run.
+        sim = event_simulation(
+            events=[
+                FailureEvent(round=3, model=ExplicitFailure([5])),
+                _ReviveEvent(9, [5]),
+            ]
+        )
+        result = sim.run()
+        assert result.alive_counts()[-1] == 48
+
+    def test_late_revival_does_not_schedule_past_the_horizon(self):
+        # A host revived on the last sample has no room left on its grid;
+        # the restart must not schedule a tick beyond the duration.
+        sim = event_simulation(
+            events=[
+                FailureEvent(round=4, model=ExplicitFailure([2])),
+                _ReviveEvent(18, [2]),
+            ]
+        )
+        sim.run()
+        for _ in range(len(sim.calendar)):
+            time, _, _, _ = sim.calendar.pop()
+            assert time > sim.duration
+
+
+class TestExchangeAccounting:
+    def test_dead_responder_request_loses_both_legs(self):
+        # The fixed branch (DESIGN.md §11): a request arriving at a
+        # departed host kills the whole exchange, and every attempted
+        # exchange accounts exactly two messages.  Before the fix this
+        # counted a single lost message, so exchange totals diverged from
+        # the round engine's lost-exchange accounting.
+        sim = event_simulation(
+            n_hosts=8,
+            mode="exchange",
+            network=LatencyNetwork(distribution="fixed", delay=1),
+            mass_check="off",
+        )
+        sim._alive_set.discard(1)
+        before = sim.delivery.total_lost
+        sim._adapter.handle(("xreq", 0, 1, 16), 1.0)
+        assert sim.delivery.total_lost - before == 2
+        assert sim.delivery.total_delivered == 0
+
+    def test_departures_under_latency_lose_exchanges_in_pairs(self):
+        # Integration: explicit departures at round 8 strand requests that
+        # are already in flight, so the dead-responder branch must fire —
+        # and every loss it books is a pair, keeping delivered + lost even
+        # per attempted exchange.
+        lost_counts = []
+        sim = event_simulation(
+            mode="exchange",
+            network=LatencyNetwork(distribution="fixed", delay=1),
+            events=[FailureEvent(round=8, model=ExplicitFailure(list(range(24))))],
+            mass_check="off",
+        )
+        original = sim.delivery.record_lost
+
+        def recording_lost(bin_index, count=1, **kwargs):
+            lost_counts.append(count)
+            return original(bin_index, count, **kwargs)
+
+        sim.delivery.record_lost = recording_lost
+        sim.run()
+        # The only loss sources in a pure-latency exchange run are the
+        # dead-responder request (2) and the dead-initiator reply (1).
+        assert set(lost_counts) <= {1, 2}
+        assert 2 in lost_counts
+
+    def test_exchange_totals_are_even_on_both_engines(self):
+        # Cross-engine counter agreement under loss + departures: with no
+        # leg left in flight at the horizon, both engines account every
+        # attempted exchange as exactly two messages — delivered, lost,
+        # or one of each — so the totals are even on both sides.
+        n_hosts, rounds, seed = 48, 20, 11
+        values = uniform_values(n_hosts, seed=seed)
+        events = [FailureEvent(round=8, model=ExplicitFailure([0, 3, 5]))]
+
+        round_engine = Simulation(
+            PushSumRevert(0.05),
+            UniformEnvironment(n_hosts),
+            values,
+            seed=seed,
+            mode="exchange",
+            events=events,
+            network=BernoulliLossNetwork(0.2),
+        )
+        round_result = round_engine.run(rounds)
+
+        event_engine = EventSimulation(
+            PushSumRevert(0.05),
+            UniformEnvironment(n_hosts),
+            values,
+            seed=seed,
+            mode="exchange",
+            events=[FailureEvent(round=8, model=ExplicitFailure([0, 3, 5]))],
+            network=BernoulliLossNetwork(0.2),
+            duration=float(rounds),
+            sample_interval=1.0,
+            mass_check="event",
+        )
+        event_result = event_engine.run()
+
+        for result in (round_result, event_result):
+            delivered = sum(result.delivered_per_round())
+            lost = sum(result.lost_per_round())
+            assert delivered > 0
+            assert lost > 0
+            assert (delivered + lost) % 2 == 0
 
 
 # ---------------------------------------------------------------------------

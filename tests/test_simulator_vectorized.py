@@ -380,3 +380,188 @@ class TestSparseTopologyLayer:
 
         with pytest.raises(ValueError, match="covers 24 hosts"):
             VectorizedPushSumRevert([1.0, 2.0], topology=self._ring_csr(24))
+
+
+class TestKernelMembership:
+    """join / depart_gracefully on the array kernels (DESIGN.md §12)."""
+
+    def test_join_grows_push_sum_population(self):
+        values = uniform_values(10, seed=0)
+        kernel = VectorizedPushSumRevert(values, 0.1, seed=0)
+        new_ids = kernel.join([5.0, 6.0])
+        assert new_ids.tolist() == [10, 11]
+        assert kernel.n == 12
+        assert int(kernel.alive.sum()) == 12
+        # New hosts start knowing only themselves (weight 1, own value).
+        assert kernel.weight[10:].tolist() == [1.0, 1.0]
+        assert kernel.total[10:].tolist() == [5.0, 6.0]
+        # The truth immediately reflects the grown population...
+        assert kernel.truth() == pytest.approx(np.mean(list(values) + [5.0, 6.0]))
+        # ...and the estimates converge toward it.
+        kernel.step_many(40)
+        assert abs(np.mean(kernel.estimates()) - kernel.truth()) < 1.0
+
+    def test_empty_join_is_a_no_op(self):
+        kernel = VectorizedPushSumRevert([1.0, 2.0], 0.0, seed=0)
+        assert kernel.join([]).size == 0
+        assert kernel.n == 2
+
+    def test_join_under_topology_rejected(self):
+        from repro.simulator.sparse import CSRTopology
+        from repro.topology.graphs import ring_lattice
+
+        topo = CSRTopology.from_adjacency(ring_lattice(8, k=1), 8)
+        kernel = VectorizedPushSumRevert([1.0] * 8, 0.0, topology=topo, seed=0)
+        with pytest.raises(ValueError, match="agent engine"):
+            kernel.join([3.0])
+
+    def test_join_grows_counting_kernels(self):
+        kernel = VectorizedCountSketchReset(16, bins=16, bits=16, seed=0)
+        kernel.join([0.0] * 4)
+        assert kernel.n == 20
+        kernel.step_many(25)
+        # The sketch counts the grown population (within sketch bias).
+        assert np.mean(kernel.estimates()) > 16.0
+
+    def test_graceful_departure_transfers_mass(self):
+        kernel = VectorizedPushSumRevert([float(i) for i in range(8)], 0.0,
+                                         mode="push", seed=1)
+        total_weight = kernel.weight.sum()
+        total_mass = kernel.total.sum()
+        kernel.depart_gracefully([2, 5])
+        assert int(kernel.alive.sum()) == 6
+        # The departing hosts handed every drop of mass to survivors.
+        assert kernel.weight.sum() == pytest.approx(total_weight)
+        assert kernel.total.sum() == pytest.approx(total_mass)
+        assert kernel.weight[[2, 5]].tolist() == [0.0, 0.0]
+        # So the network still converges to the *original* average, exactly
+        # like the agent engine's sign_off_mass baseline.
+        kernel.step_many(60)
+        assert np.mean(kernel.estimates()) == pytest.approx(3.5, abs=0.2)
+
+    def test_graceful_departure_of_everyone_drops_mass(self):
+        kernel = VectorizedPushSumRevert([1.0, 2.0], 0.0, seed=0)
+        kernel.depart_gracefully([0, 1])
+        assert int(kernel.alive.sum()) == 0
+        assert kernel.mass_lost == pytest.approx(2.0)
+
+    def test_graceful_departure_disowns_sketch_positions(self):
+        kernel = VectorizedCountSketchReset(16, bins=16, bits=14,
+                                            cutoff=default_cutoff, seed=0)
+        kernel.step_many(15)
+        owned = kernel.own_mask[list(range(8))].copy()
+        assert owned.any()
+        kernel.depart_gracefully(list(range(8)))
+        # The departed hosts source nothing any more...
+        assert not kernel.own_mask[list(range(8))].any()
+        kernel.step_many(5)
+        # ...so positions no live host sources now age on every live host
+        # instead of being re-pinned to zero each round.
+        live = np.nonzero(kernel.alive)[0]
+        unsourced = owned.any(axis=0) & ~kernel.own_mask[live].any(axis=0)
+        assert unsourced.any()
+        bins_idx, bits_idx = np.nonzero(unsourced)
+        aged = kernel.counters[live[:, None], bins_idx, bits_idx]
+        assert (aged > 0).all()
+
+    def test_graceful_departure_never_beats_silent_failure(self):
+        # Mirrors the agent invariant (test_extensions): a graceful
+        # departure's estimate is never larger than a silent failure's —
+        # disowned positions start decaying immediately.
+        silent = VectorizedCountSketchReset(64, bins=16, bits=14,
+                                            cutoff=default_cutoff, seed=3)
+        graceful = VectorizedCountSketchReset(64, bins=16, bits=14,
+                                              cutoff=default_cutoff, seed=3)
+        departing = list(range(32))
+        silent.step_many(10)
+        graceful.step_many(10)
+        silent.fail(departing)
+        graceful.depart_gracefully(departing)
+        silent.step_many(30)
+        graceful.step_many(30)
+        assert np.mean(graceful.estimates()) <= np.mean(silent.estimates()) + 1e-6
+
+
+class TestTraceCSRTopology:
+    """The time-varying CSR replays traces exactly as the agent environment."""
+
+    def _topology(self, **kwargs):
+        from repro.mobility import haggle_dataset
+        from repro.simulator.sparse import TraceCSRTopology
+
+        return TraceCSRTopology(haggle_dataset(1), **kwargs)
+
+    def test_round_adjacency_matches_agent_environment(self):
+        from repro.environments.trace import TraceEnvironment
+        from repro.mobility import haggle_dataset
+
+        trace = haggle_dataset(1)
+        environment = TraceEnvironment(trace)
+        topology = self._topology()
+        alive = np.ones(trace.n_devices, dtype=bool)
+        for t in range(0, 600, 7):
+            topology.set_round(t)
+            expected = environment._adjacency(t)
+            adjacency = topology._live_adjacency(alive)
+            got = {host: set(peers) for host, peers in adjacency.items() if peers}
+            expected_sets = {h: set(p) for h, p in expected.items() if p}
+            assert got == expected_sets, f"round {t}"
+
+    def test_group_components_match_agent_environment(self):
+        from repro.environments.trace import TraceEnvironment
+        from repro.mobility import haggle_dataset
+
+        trace = haggle_dataset(1)
+        environment = TraceEnvironment(trace)
+        topology = self._topology()
+        alive = np.ones(trace.n_devices, dtype=bool)
+        alive_set = set(range(trace.n_devices))
+        for t in range(0, 900, 13):
+            topology.set_round(t)
+            expected = sorted(sorted(group) for group in environment.groups(alive_set, t))
+            got = sorted(sorted(group) for group in topology.components(alive))
+            assert got == expected, f"round {t}"
+
+    def test_components_respect_dead_bridges(self):
+        # A dead host may still *bridge* two live hosts in the union graph
+        # (the agent rule: components first, alive-intersection second).
+        from repro.mobility.traces import ContactRecord, ContactTrace
+        from repro.simulator.sparse import TraceCSRTopology
+
+        trace = ContactTrace(
+            n_devices=3,
+            records=[
+                ContactRecord(0, 1, 0.0, 3600.0),
+                ContactRecord(1, 2, 0.0, 3600.0),
+            ],
+            name="bridge",
+        )
+        topology = TraceCSRTopology(trace, round_seconds=30.0)
+        topology.set_round(10)
+        alive = np.array([True, False, True])
+        parts = sorted(sorted(p) for p in topology.components(alive))
+        assert parts == [[0, 2]]
+
+    def test_rebuild_is_bit_deterministic(self):
+        first = self._topology()
+        second = self._topology()
+        alive = np.ones(first.n, dtype=bool)
+        alive[[1, 4]] = False
+        for t in (0, 120, 240, 600, 601):
+            first.set_round(t)
+            second.set_round(t)
+            assert first._live_adjacency(alive) == second._live_adjacency(alive)
+            l1, s1 = first.component_labels(alive)
+            l2, s2 = second.component_labels(alive)
+            assert np.array_equal(l1, l2) and np.array_equal(s1, s2)
+
+    def test_validates_parameters(self):
+        from repro.mobility import haggle_dataset
+        from repro.simulator.sparse import TraceCSRTopology
+
+        trace = haggle_dataset(1)
+        with pytest.raises(ValueError):
+            TraceCSRTopology(trace, round_seconds=0.0)
+        topology = TraceCSRTopology(trace)
+        with pytest.raises(ValueError):
+            topology.set_round(-1)
