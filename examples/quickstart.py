@@ -32,7 +32,13 @@ This script walks through the library's core workflow both ways:
 8. let the population itself move: churn (departures plus arrivals every
    round) grows and masks the kernel arrays in place, and a synthetic
    contact trace replays as a time-varying CSR with group-relative error
-   (DESIGN.md §12) — both still at kernel speed under ``backend="auto"``.
+   (DESIGN.md §12) — both still at kernel speed under ``backend="auto"``;
+9. watch a run from the inside: attach a :class:`repro.TraceRecorder`
+   and a :class:`repro.MetricsRegistry` (``repro.obs``, DESIGN.md §13)
+   to the churn scenario, prove the instrumented run is bit-identical to
+   the bare one, and render the recorded phase-time/per-round breakdown
+   — the CLI equivalents are ``run --trace out.jsonl --metrics`` and
+   ``repro-aggregate obs report out.jsonl``.
 
 The spec also round-trips through JSON, which is exactly what
 ``repro-aggregate run --config`` and ``repro-aggregate sweep`` consume.
@@ -50,13 +56,17 @@ import time
 from repro import (
     CorrelatedFailure,
     FailureEvent,
+    MetricsRegistry,
+    MultiProbe,
     PushSumRevert,
     ResultStore,
     ScenarioSpec,
     Simulation,
     Sweep,
     SweepRunner,
+    TraceRecorder,
     UniformEnvironment,
+    render_report,
     run_scenario,
 )
 from repro.analysis import render_series_table
@@ -265,6 +275,23 @@ def main() -> None:
         f"(mean group size {replayed.group_size_series()[-1]:.1f}).  Example "
         f"spec: examples/specs/trace_churn.json."
     )
+
+    # Path 9: observe a run without perturbing it (repro.obs, DESIGN.md
+    # §13).  Probes record phase spans (sampling, matching, scatter, CSR
+    # rebuilds), per-round delivery counters and membership events — but
+    # never draw from the RNG streams, so the traced run is bit-identical
+    # to the bare one.  The CLI spelling is
+    # `repro-aggregate run --config … --trace out.jsonl --metrics` and
+    # `repro-aggregate obs report out.jsonl`.
+    trace = TraceRecorder()
+    metrics = MetricsRegistry()
+    traced = run_scenario(churning, probe=MultiProbe(trace, metrics))
+    assert traced.to_payload() == churned.to_payload(), "probes must not change results"
+    print(
+        f"\nObservability: the traced churn run recorded {len(trace)} structured "
+        f"records and stayed bit-identical to the bare run.\n"
+    )
+    print(render_report(trace.records, every=10))
 
 
 if __name__ == "__main__":

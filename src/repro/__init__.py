@@ -35,7 +35,15 @@ In-Network Aggregation* (Kennedy, Koch, Demers; ICDE 2009).  It provides:
   lifts that: ``bernoulli-loss``, ``latency`` (fixed/uniform/lognormal
   delays through an in-flight delivery queue), ``bandwidth-cap`` and
   composable ``stacked`` models, with per-round mass-conservation
-  assertions for the Push-Sum family (DESIGN.md §8).
+  assertions for the Push-Sum family (DESIGN.md §8);
+* an observability layer (``repro.obs``, DESIGN.md §13) — pass
+  ``run_scenario(spec, probe=TraceRecorder("out.jsonl"))`` (or a
+  :class:`~repro.obs.MetricsRegistry`, or both via
+  :class:`~repro.obs.MultiProbe`) to record phase spans, per-round
+  counters and store hits/misses from any engine or backend; render a
+  recorded trace with ``repro-aggregate obs report out.jsonl``.  The
+  default is a zero-cost null probe, and probes never touch the RNG
+  streams, so instrumented runs stay bit-identical.
 
 Quickstart
 ----------
@@ -138,6 +146,15 @@ from repro.network import (
     PerfectNetwork,
     StackedNetwork,
 )
+from repro.obs import (
+    MetricsRegistry,
+    MultiProbe,
+    NullProbe,
+    Probe,
+    TraceRecorder,
+    read_trace,
+    render_report,
+)
 from repro.simulator import Simulation, SimulationResult
 from repro.store import ResultStore
 
@@ -156,11 +173,15 @@ __all__ = [
     "InvertAverage",
     "JoinEvent",
     "LatencyNetwork",
+    "MetricsRegistry",
+    "MultiProbe",
     "NETWORKS",
     "NeighborhoodEnvironment",
     "NetworkModel",
+    "NullProbe",
     "PROTOCOLS",
     "PerfectNetwork",
+    "Probe",
     "PushPull",
     "PushSum",
     "PushSumRevert",
@@ -175,6 +196,7 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "TraceEnvironment",
+    "TraceRecorder",
     "TreeAggregation",
     "UncorrelatedFailure",
     "UniformEnvironment",
@@ -183,8 +205,10 @@ __all__ = [
     "register_environment",
     "register_failure",
     "register_network",
+    "read_trace",
     "register_protocol",
     "register_workload",
+    "render_report",
     "run_scenario",
 ]
 

@@ -41,6 +41,8 @@ import numpy as np
 
 from repro.api.registry import ENVIRONMENTS, FAILURES, PROTOCOLS, Registry, _grid_dimensions
 from repro.failures.models import CorrelatedFailure, ExplicitFailure, UncorrelatedFailure
+from repro.metrics.recorder import SeriesRecorder
+from repro.obs.probe import NULL_PROBE
 from repro.simulator.result import RoundRecord, SimulationResult
 from repro.simulator.sparse import CSRTopology, GridRingTopology, TraceCSRTopology
 from repro.topology.graphs import erdos_renyi_edges, grid_edges, ring_lattice_edges
@@ -170,8 +172,12 @@ class ExecutionBackend:
         """``None`` when the backend can run ``spec``, else a human reason."""
         raise NotImplementedError
 
-    def run(self, spec: "ScenarioSpec") -> SimulationResult:
-        """Execute ``spec`` for ``spec.rounds`` rounds."""
+    def run(self, spec: "ScenarioSpec", probe=NULL_PROBE) -> SimulationResult:
+        """Execute ``spec`` for ``spec.rounds`` rounds.
+
+        ``probe`` is an :mod:`repro.obs` instrumentation sink; the default
+        null probe keeps the run bit-identical and effectively free.
+        """
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -192,11 +198,17 @@ class AgentBackend(ExecutionBackend):
     def supports(self, spec: "ScenarioSpec") -> Optional[str]:
         return None
 
-    def run(self, spec: "ScenarioSpec") -> SimulationResult:
+    def run(self, spec: "ScenarioSpec", probe=NULL_PROBE) -> SimulationResult:
         if spec.engine == "events":
-            result = spec.build_event_simulation().run()
+            with probe.span("build", backend=self.name, engine="events"):
+                simulation = spec.build_event_simulation(probe=probe)
+            with probe.span("execute", backend=self.name, engine="events"):
+                result = simulation.run()
         else:
-            result = spec.build().run(spec.rounds)
+            with probe.span("build", backend=self.name, engine="rounds"):
+                simulation = spec.build(probe=probe)
+            with probe.span("execute", backend=self.name, engine="rounds"):
+                result = simulation.run(spec.rounds)
         result.metadata["backend"] = self.name
         return result
 
@@ -451,12 +463,13 @@ class VectorizedBackend(ExecutionBackend):
         )
 
     # -------------------------------------------------------------- execution
-    def run(self, spec: "ScenarioSpec") -> SimulationResult:
+    def run(self, spec: "ScenarioSpec", probe=NULL_PROBE) -> SimulationResult:
         reason = self.supports(spec)
         if reason is not None:
             raise ValueError(f"backend 'vectorized' cannot run this scenario: {reason}")
-        topology, environment_name = self.build_topology(spec)
-        kernel = self.build_kernel(spec, topology=topology)
+        with probe.span("build", backend=self.name):
+            topology, environment_name = self.build_topology(spec)
+            kernel = self.build_kernel(spec, topology=topology)
         values = getattr(kernel, "initial", getattr(kernel, "own", None))
         if values is None and any(
             entry["event"] in ("failure", "churn") and entry["model"] == "correlated"
@@ -483,26 +496,70 @@ class VectorizedBackend(ExecutionBackend):
         )
         if spec.network != "perfect":
             result.metadata["network"] = {"name": spec.network, **dict(spec.network_params)}
-        track_delivery = spec.network != "perfect"
-        prev_delivered = prev_lost = 0
+        prev_delivered = prev_lost = prev_bytes = 0
+        series = SeriesRecorder(name=spec.name)
         time_varying = isinstance(topology, TraceCSRTopology)
-        for t in range(spec.rounds):
-            if time_varying:
-                topology.set_round(t)
-            for entry in events_by_round.get(t, ()):
-                values_array = self._apply_event(kernel, entry, values_array)
-            kernel.step()
-            record = self._record_round(kernel, spec, t)
-            if track_delivery:
-                # Lossy kernels are required to expose the counters; an
-                # AttributeError here means a new _LOSSY_KERNEL_PROTOCOLS
-                # entry shipped without them.
-                delivered = int(kernel.messages_delivered)
-                lost = int(kernel.messages_lost)
-                record.messages_delivered = delivered - prev_delivered
-                record.messages_lost = lost - prev_lost
-                prev_delivered, prev_lost = delivered, lost
-            result.append(record)
+        # Kernels (and the cached, shared topologies) carry the probe as an
+        # attribute so the hot phase spans need no per-call plumbing; restore
+        # the null probe afterwards because topologies outlive this run.
+        kernel.probe = probe
+        if topology is not None:
+            topology.probe = probe
+        try:
+            with probe.span("execute", backend=self.name):
+                for t in range(spec.rounds):
+                    with probe.span("round", round=t):
+                        if time_varying:
+                            topology.set_round(t)
+                        for entry in events_by_round.get(t, ()):
+                            values_array = self._apply_event(kernel, entry, values_array)
+                            if probe.enabled and entry["event"] in ("join", "failure"):
+                                probe.event(
+                                    "membership",
+                                    action="join" if entry["event"] == "join" else "fail",
+                                    round=t,
+                                )
+                        kernel.step()
+                        record = self._record_round(kernel, spec, t)
+                    # Every kernel exposes cumulative delivery counters; the
+                    # per-round deltas feed both the RoundRecord fields (agent
+                    # parity) and the SeriesRecorder extra series.
+                    delivered = int(kernel.messages_delivered)
+                    lost = int(kernel.messages_lost)
+                    bytes_sent = int(kernel.bytes_sent)
+                    record.messages_delivered = delivered - prev_delivered
+                    record.messages_lost = lost - prev_lost
+                    record.bytes_sent = bytes_sent - prev_bytes
+                    prev_delivered, prev_lost, prev_bytes = delivered, lost, bytes_sent
+                    series.record_error(
+                        t,
+                        record.max_abs_error,
+                        record.truth,
+                        mean_estimate=record.mean_estimate,
+                        population=record.n_alive,
+                        messages_delivered=record.messages_delivered,
+                        messages_lost=record.messages_lost,
+                        bytes_sent=record.bytes_sent,
+                    )
+                    result.append(record)
+                    if probe.enabled:
+                        probe.event(
+                            "round_end",
+                            round=t,
+                            n_alive=record.n_alive,
+                            max_abs_error=record.max_abs_error,
+                            messages_delivered=record.messages_delivered,
+                            messages_lost=record.messages_lost,
+                            bytes_sent=record.bytes_sent,
+                        )
+                        probe.gauge("n_alive", record.n_alive)
+        finally:
+            kernel.probe = NULL_PROBE
+            if topology is not None:
+                topology.probe = NULL_PROBE
+        result.metadata["delivery_series"] = {
+            key: list(values) for key, values in series.extra.items()
+        }
         return result
 
     def _apply_event(
@@ -709,7 +766,9 @@ def validate_backend(spec: "ScenarioSpec") -> None:
         )
 
 
-def run_with_backend(spec: "ScenarioSpec", *, store=None, refresh: bool = False) -> SimulationResult:
+def run_with_backend(
+    spec: "ScenarioSpec", *, store=None, refresh: bool = False, probe=NULL_PROBE
+) -> SimulationResult:
     """Execute ``spec`` on its resolved backend.
 
     This is the single point every execution path funnels through
@@ -718,14 +777,28 @@ def run_with_backend(spec: "ScenarioSpec", *, store=None, refresh: bool = False)
     a :class:`repro.store.ResultStore` the lookup happens before any
     engine is built, and a fresh result is written back after the run.
     ``refresh=True`` skips the lookup but keeps the write-back.
+
+    ``probe`` (default the no-op :data:`~repro.obs.probe.NULL_PROBE`)
+    observes store lookups, backend resolution, and the run itself; probes
+    never touch the RNG streams, so any probe leaves results bit-identical.
     """
     if store is not None and not refresh:
-        cached = store.get(spec)
+        with probe.span("store_get"):
+            cached = store.get(spec)
+        # Hit/miss *counters* are the store's own job (ResultStore.probe),
+        # so a store carrying this probe doesn't double-count; the events
+        # here record the outcome per scenario either way.
         if cached is not None:
+            if probe.enabled:
+                probe.event("store", outcome="hit", spec=spec.name)
             return cached
-    name = resolve_backend(spec)
-    result = BACKENDS.get(name).run(spec)
+        if probe.enabled:
+            probe.event("store", outcome="miss", spec=spec.name)
+    with probe.span("resolve"):
+        name = resolve_backend(spec)
+    result = BACKENDS.get(name).run(spec, probe=probe)
     result.metadata.setdefault("backend", name)
     if store is not None:
-        store.put(spec, result)
+        with probe.span("store_put"):
+            store.put(spec, result)
     return result

@@ -468,14 +468,15 @@ class ScenarioSpec:
             built.extend(_build_event(entry))
         return built
 
-    def build_event_simulation(self):
+    def build_event_simulation(self, *, probe=None):
         """A ready-to-run :class:`repro.events.EventSimulation`.
 
         The event-engine counterpart of :meth:`build`: constructs the
         continuous-time engine with this spec's components and
         :meth:`engine_settings`.  Useful directly in tests and notebooks;
         execution paths should go through :meth:`run` / :func:`run_scenario`,
-        which dispatch on :attr:`engine` automatically.
+        which dispatch on :attr:`engine` automatically.  ``probe`` is a
+        runtime observer (:mod:`repro.obs`); it never enters :meth:`key`.
         """
         from repro.events import EventSimulation
 
@@ -495,15 +496,18 @@ class ScenarioSpec:
             rates=settings["rates"],
             synchronized=settings["synchronized"],
             mass_check=settings["mass_check"],
+            probe=probe,
         )
 
-    def build(self) -> Simulation:
+    def build(self, *, probe=None) -> Simulation:
         """A ready-to-run :class:`repro.Simulation` (the *agent* realisation).
 
         This always constructs the per-host *round* engine regardless of
         :attr:`backend` / :attr:`engine`; use :meth:`run` /
         :func:`run_scenario` to dispatch through the backend layer (which
         routes ``engine="events"`` to :meth:`build_event_simulation`).
+        ``probe`` is a runtime observer (:mod:`repro.obs`); it never enters
+        :meth:`key`.
         """
         return Simulation(
             self.build_protocol(),
@@ -515,6 +519,7 @@ class ScenarioSpec:
             network=None if self.network == "perfect" else self.build_network(),
             group_relative=self.group_relative,
             store_estimates=self.store_estimates,
+            probe=probe,
         )
 
     def resolved_backend(self) -> str:
@@ -548,16 +553,20 @@ class ScenarioSpec:
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
-    def run(self, *, store=None, refresh: bool = False) -> SimulationResult:
+    def run(self, *, store=None, refresh: bool = False, probe=None) -> SimulationResult:
         """Run the scenario for :attr:`rounds` rounds on its backend.
 
         With a :class:`repro.store.ResultStore` the store is consulted
         first (unless ``refresh`` forces re-execution) and executed results
-        are written back — see :func:`run_scenario`.
+        are written back — see :func:`run_scenario`.  ``probe`` attaches a
+        :mod:`repro.obs` observer for the duration of the run.
         """
         from repro.api.backends import run_with_backend
+        from repro.obs.probe import NULL_PROBE
 
-        return run_with_backend(self, store=store, refresh=refresh)
+        return run_with_backend(
+            self, store=store, refresh=refresh, probe=probe if probe is not None else NULL_PROBE
+        )
 
     # ------------------------------------------------------------ serialisation
     def to_dict(self) -> Dict[str, Any]:
@@ -605,7 +614,9 @@ class ScenarioSpec:
         return f"{self.protocol}/{self.environment}/n={self.n_hosts}/seed={self.seed}"
 
 
-def run_scenario(spec: ScenarioSpec, *, store=None, refresh: bool = False) -> SimulationResult:
+def run_scenario(
+    spec: ScenarioSpec, *, store=None, refresh: bool = False, probe=None
+) -> SimulationResult:
     """Build and run ``spec``; equal specs produce identical results.
 
     Parameters
@@ -618,7 +629,14 @@ def run_scenario(spec: ScenarioSpec, *, store=None, refresh: bool = False) -> Si
     refresh:
         Skip the store lookup (but still write the fresh result back);
         use to overwrite suspect entries.
+    probe:
+        An optional :class:`repro.obs.Probe` (e.g. a
+        :class:`~repro.obs.TraceRecorder` or
+        :class:`~repro.obs.MetricsRegistry`) that observes the run — phase
+        spans, per-round counters, store hits/misses.  Probes only watch;
+        they never draw from the RNG streams, so results stay bit-identical
+        with or without one.
     """
     if not isinstance(spec, ScenarioSpec):
         raise TypeError(f"run_scenario expects a ScenarioSpec, got {type(spec).__name__}")
-    return spec.run(store=store, refresh=refresh)
+    return spec.run(store=store, refresh=refresh, probe=probe)

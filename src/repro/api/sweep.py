@@ -43,12 +43,15 @@ import dataclasses
 import itertools
 import json
 import os
+import sys
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.render import render_table
 from repro.api.spec import ScenarioSpec, run_scenario
+from repro.obs.probe import NULL_PROBE, Probe
 from repro.simulator import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -294,6 +297,16 @@ class SweepRunner:
     refresh:
         Re-execute every cell even on a hit (results are still written
         back); use to overwrite suspect store entries.
+    progress:
+        Print one line per completed cell to stderr — cell index,
+        ``cached``/``executed``, and wall time — so long sweeps show a
+        live heartbeat.  Parallel cells report their batch's mean wall
+        time (individual timings stay in the workers).
+    probe:
+        An optional :class:`repro.obs.Probe`.  On the serial path it is
+        threaded into every :func:`run_scenario` call (full phase spans);
+        on the parallel path workers run unprobed and the parent records
+        per-cell completion events and timings only.
     """
 
     parallel: bool = False
@@ -301,12 +314,30 @@ class SweepRunner:
     chunksize: int = 1
     store: Optional["ResultStore"] = None
     refresh: bool = False
+    progress: bool = False
+    probe: Optional[Probe] = None
 
     def __post_init__(self):
         if self.chunksize < 1:
             raise ValueError("chunksize must be >= 1")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if self.probe is None:
+            self.probe = NULL_PROBE
+
+    def _cell_done(
+        self, index: int, total: int, spec: ScenarioSpec, status: str, seconds: float
+    ) -> None:
+        """One completed cell: optional stderr heartbeat plus probe record."""
+        if self.progress:
+            print(
+                f"[sweep {index + 1}/{total}] {status} {spec.label()} in {seconds:.3f}s",
+                file=sys.stderr,
+                flush=True,
+            )
+        if self.probe.enabled:
+            self.probe.event("cell", index=index, status=status, seconds=seconds)
+            self.probe.count(f"sweep.{status}")
 
     def run(self, sweep: Union[Sweep, Sequence[ScenarioSpec]]) -> SweepResult:
         """Execute every scenario in ``sweep`` and return the collected result."""
@@ -325,12 +356,15 @@ class SweepRunner:
         # ---------------------------------------------- store partitioning
         results: List[Optional[SimulationResult]] = [None] * len(specs)
         cached = [False] * len(specs)
+        total = len(specs)
         if self.store is not None and not self.refresh:
             for index, spec in enumerate(specs):
+                started = time.perf_counter()
                 hit = self.store.get(spec)
                 if hit is not None:
                     results[index] = hit
                     cached[index] = True
+                    self._cell_done(index, total, spec, "cached", time.perf_counter() - started)
         pending = [index for index, result in enumerate(results) if result is None]
 
         # -------------------------------------------------------- execution
@@ -345,6 +379,7 @@ class SweepRunner:
                 for start in range(0, len(pending), self.chunksize)
             ]
             with ProcessPoolExecutor(max_workers=workers) as executor:
+                submitted = time.perf_counter()
                 future_to_batch = {
                     executor.submit(
                         _execute_payload_batch, [specs[index].to_dict() for index in batch]
@@ -359,16 +394,20 @@ class SweepRunner:
                     done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                     for future in done:
                         batch = future_to_batch[future]
+                        batch_seconds = (time.perf_counter() - submitted) / max(len(batch), 1)
                         for index, result in zip(batch, future.result()):
                             if self.store is not None:
                                 self.store.put(specs[index], result)
                             results[index] = result
+                            self._cell_done(index, total, specs[index], "executed", batch_seconds)
         else:
             for index in pending:
-                result = run_scenario(specs[index])
+                started = time.perf_counter()
+                result = run_scenario(specs[index], probe=self.probe)
                 if self.store is not None:
                     self.store.put(specs[index], result)
                 results[index] = result
+                self._cell_done(index, total, specs[index], "executed", time.perf_counter() - started)
 
         # Rows are assembled from the index-addressed slots, so they are in
         # grid order by construction — regardless of worker count, batch

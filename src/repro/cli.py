@@ -39,6 +39,12 @@ Subcommands
 ``trace``
     Generate a synthetic Haggle-like contact trace and print its summary
     statistics (or write it to CSV for inspection).
+
+``obs``
+    Render a phase-time breakdown and per-round counter table from a
+    structured trace recorded with ``run --trace out.jsonl`` /
+    ``sweep --trace out.jsonl`` (see :mod:`repro.obs`):
+    ``repro-aggregate obs report out.jsonl``.
 """
 
 from __future__ import annotations
@@ -59,6 +65,7 @@ from repro.mobility.stats import (
     intercontact_time_stats,
 )
 from repro.mobility.synthetic_haggle import generate_haggle_like_trace, haggle_dataset
+from repro.obs import MetricsRegistry, TraceRecorder, compose, read_trace, render_report
 from repro.perf import add_bench_arguments, run_bench_command
 from repro.store import DEFAULT_CACHE_DIR, ResultStore
 
@@ -86,6 +93,30 @@ def _store_from_args(args: argparse.Namespace) -> Optional[ResultStore]:
     if args.no_cache or not (args.cache or args.cache_dir):
         return None
     return ResultStore(args.cache_dir or DEFAULT_CACHE_DIR)
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the observability flags shared by run/sweep."""
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a structured JSONL trace (phase spans, per-round counters) "
+             "to PATH; render it with 'repro-aggregate obs report PATH'",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print aggregated metrics (phase times, counters, gauges) to stderr",
+    )
+
+
+def _probe_from_args(args: argparse.Namespace):
+    """(probe, trace recorder, metrics registry) for the --trace/--metrics flags.
+
+    All three are None-equivalents when neither flag is given — the run
+    then goes through the zero-cost null probe and stays bit-identical.
+    """
+    trace_recorder = TraceRecorder(args.trace) if args.trace else None
+    metrics_registry = MetricsRegistry() if args.metrics else None
+    return compose([trace_recorder, metrics_registry]), trace_recorder, metrics_registry
 
 
 def _parse_json_object(raw: str) -> dict:
@@ -172,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--every", type=int, default=5, help="print every Nth round")
     run.add_argument("--json", action="store_true", help="print the result as JSON")
     _add_cache_arguments(run)
+    _add_obs_arguments(run)
 
     sweep = subparsers.add_parser(
         "sweep", help="expand a JSON sweep (base scenario x axes) and run the grid"
@@ -181,7 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=None, help="process-pool size")
     sweep.add_argument("--chunksize", type=int, default=1, help="scenarios per pool task")
     sweep.add_argument("--output", default=None, help="also write the table to this file")
+    sweep.add_argument(
+        "--progress", action="store_true",
+        help="print one line per completed cell (index, cached/executed, wall time) to stderr",
+    )
     _add_cache_arguments(sweep)
+    _add_obs_arguments(sweep)
 
     subparsers.add_parser(
         "list", help="list the registered protocols, environments, failures and workloads"
@@ -251,6 +288,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--hours", type=float, default=48.0)
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--csv", default=None, help="write the trace to this CSV path")
+
+    obs = subparsers.add_parser(
+        "obs", help="render reports from structured traces recorded with --trace"
+    )
+    obs.add_argument("action", choices=("report",), help="report: phase/counter breakdown")
+    obs.add_argument("trace_file", help="JSONL trace written by run/sweep --trace")
+    obs.add_argument(
+        "--every", type=int, default=1, help="print every Nth row of the per-round table"
+    )
     return parser
 
 
@@ -299,10 +345,13 @@ def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    probe, trace_recorder, metrics_registry = _probe_from_args(args)
     try:
         spec = _spec_from_args(args)
         store = _store_from_args(args)
-        result = run_scenario(spec, store=store)
+        if store is not None:
+            store.probe = probe
+        result = run_scenario(spec, store=store, probe=probe)
     except (ValueError, KeyError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -344,19 +393,39 @@ def _command_run(args: argparse.Namespace) -> int:
         f"\nfinal error {result.final_error():.4g}, plateau error "
         f"{result.plateau_error():.4g}, final truth {result.final_truth():.4g}"
     )
+    _emit_obs(trace_recorder, metrics_registry)
     return 0
 
 
+def _emit_obs(trace_recorder, metrics_registry) -> None:
+    """Flush --trace / print --metrics.  Stderr only, so stdout — the part
+    golden comparisons and ``--output`` files see — is byte-identical with
+    or without the observability flags."""
+    if trace_recorder is not None:
+        trace_recorder.close()
+        print(
+            f"trace: {len(trace_recorder)} records -> {trace_recorder.path}",
+            file=sys.stderr,
+        )
+    if metrics_registry is not None:
+        print(metrics_registry.render(), file=sys.stderr)
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
+    probe, trace_recorder, metrics_registry = _probe_from_args(args)
     try:
         with open(args.config) as handle:
             sweep = Sweep.from_dict(json.load(handle))
         store = _store_from_args(args)
+        if store is not None:
+            store.probe = probe
         runner = SweepRunner(
             parallel=not args.serial,
             max_workers=args.workers,
             chunksize=args.chunksize,
             store=store,
+            progress=args.progress,
+            probe=probe,
         )
         result = runner.run(sweep)
     except (ValueError, KeyError, TypeError) as error:
@@ -377,6 +446,20 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text + "\n")
+    _emit_obs(trace_recorder, metrics_registry)
+    return 0
+
+
+def _command_obs(args: argparse.Namespace) -> int:
+    try:
+        records = read_trace(args.trace_file)
+    except OSError as error:
+        print(f"error: cannot read {args.trace_file}: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {args.trace_file} is not a JSONL trace: {error}", file=sys.stderr)
+        return 2
+    print(render_report(records, every=max(1, args.every)))
     return 0
 
 
@@ -512,6 +595,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_demo(args)
     if args.command == "trace":
         return _command_trace(args)
+    if args.command == "obs":
+        return _command_obs(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover
 

@@ -103,6 +103,7 @@ class EventSimulation(Simulation):
         rates: Optional[dict] = None,
         synchronized: bool = True,
         mass_check: str = "sample",
+        probe=None,
     ):
         if not (isinstance(sample_interval, (int, float)) and sample_interval > 0):
             raise ValueError(f"sample_interval must be a positive number, got {sample_interval!r}")
@@ -128,6 +129,7 @@ class EventSimulation(Simulation):
             network=network,
             group_relative=group_relative,
             store_estimates=store_estimates,
+            probe=probe,
         )
         self.duration = float(duration)
         self.sample_interval = float(sample_interval)
@@ -231,26 +233,38 @@ class EventSimulation(Simulation):
             self.network.begin_round(0)
         calendar = self.calendar
         horizon = self.duration + _TIME_EPS
-        while calendar:
-            time, priority, _seq, event = calendar.pop()
-            if time > horizon:
-                # Everything later stays unprocessed: messages still in
-                # flight remain on the books as in-flight mass.
-                break
-            self._now = time
-            kind = event[0]
-            if kind == "tick":
-                self._on_tick(event[1], time)
-            elif priority == DELIVER:
-                self._adapter.handle(event, time)
-            elif kind == "sample":
-                self._on_sample(event[1], time)
-            else:  # membership
-                self._on_membership(event[1], time)
-            if self._track_mass and self.mass_check == "event":
-                self.mass_ledger.check(
-                    self._observed_mass(), round_index=self._sample_bin(time)
-                )
+        probe = self.probe
+        probing = probe.enabled
+        with probe.span("calendar"):
+            while calendar:
+                time, priority, _seq, event = calendar.pop()
+                if time > horizon:
+                    # Everything later stays unprocessed: messages still in
+                    # flight remain on the books as in-flight mass.
+                    break
+                self._now = time
+                kind = event[0]
+                if kind == "tick":
+                    self._on_tick(event[1], time)
+                    if probing:
+                        probe.count("events.tick")
+                elif priority == DELIVER:
+                    self._adapter.handle(event, time)
+                    if probing:
+                        probe.count("events.deliver")
+                elif kind == "sample":
+                    self._on_sample(event[1], time)
+                    if probing:
+                        probe.count("events.sample")
+                        probe.gauge("calendar_depth", len(calendar))
+                else:  # membership
+                    self._on_membership(event[1], time)
+                    if probing:
+                        probe.count("events.membership")
+                if self._track_mass and self.mass_check == "event":
+                    self.mass_ledger.check(
+                        self._observed_mass(), round_index=self._sample_bin(time)
+                    )
         return self.result
 
     def step(self):  # pragma: no cover - guarded API difference
@@ -308,6 +322,25 @@ class EventSimulation(Simulation):
         self.round_index = sample_index
         if self.network is not None:
             self.network.begin_round(sample_index)
+        if self.probe.enabled:
+            if self._track_mass:
+                self.probe.event(
+                    "mass_check",
+                    round=round_index,
+                    at_hosts=self._state_mass,
+                    in_flight=self._in_flight.in_flight_mass + self._inbox_mass,
+                )
+            self.probe.event(
+                "round_end",
+                round=round_index,
+                time=time,
+                n_alive=record.n_alive,
+                max_abs_error=record.max_abs_error,
+                messages_delivered=record.messages_delivered,
+                messages_lost=record.messages_lost,
+                bytes_sent=record.bytes_sent,
+            )
+            self.probe.gauge("n_alive", record.n_alive)
 
     def _on_membership(self, event, time: float) -> None:
         before = self._state_mass

@@ -1,0 +1,136 @@
+"""Aggregate metrics: counters, gauges, and wall-time histograms.
+
+:class:`MetricsRegistry` is the probe to attach when you want totals
+rather than a record-per-call trace: every ``span`` folds into a
+per-name wall-time histogram (count / total / min / max), every
+``count`` into a running sum, every ``gauge`` into its latest value
+(plus min/max seen).  Two exporters:
+
+``render()``
+    a human-readable summary table built with
+    :func:`repro.analysis.render.render_table`;
+``prometheus()``
+    a Prometheus text-format dump (``# TYPE`` lines plus samples),
+    suitable for a textfile collector.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.analysis.render import render_table
+from repro.obs.probe import Probe
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry(Probe):
+    """Fold a probe stream into named aggregates."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, Dict[str, float]] = {}
+        self.histograms: Dict[str, Dict[str, float]] = {}
+
+    # -------------------------------------------------------------- hooks
+    def _on_span(self, name: str, seconds: float, attrs: Tuple) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            self.histograms[name] = {
+                "count": 1,
+                "total": seconds,
+                "min": seconds,
+                "max": seconds,
+            }
+            return
+        histogram["count"] += 1
+        histogram["total"] += seconds
+        if seconds < histogram["min"]:
+            histogram["min"] = seconds
+        if seconds > histogram["max"]:
+            histogram["max"] = seconds
+
+    def _on_event(self, name: str, fields: dict) -> None:
+        # Events are trace-level detail; the registry only counts them.
+        self.counters[f"events.{name}"] = self.counters.get(f"events.{name}", 0) + 1
+
+    def _on_count(self, name: str, value: float) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def _on_gauge(self, name: str, value: float) -> None:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            self.gauges[name] = {"value": value, "min": value, "max": value}
+            return
+        gauge["value"] = value
+        if value < gauge["min"]:
+            gauge["min"] = value
+        if value > gauge["max"]:
+            gauge["max"] = value
+
+    # ---------------------------------------------------------- exporters
+    def as_dict(self) -> Dict[str, Any]:
+        """The registry's full state as plain dicts (JSON-serialisable)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": {name: dict(value) for name, value in self.gauges.items()},
+            "histograms": {name: dict(value) for name, value in self.histograms.items()},
+        }
+
+    def render(self) -> str:
+        """A three-block summary table: phase times, counters, gauges."""
+        blocks = []
+        if self.histograms:
+            total = sum(h["total"] for h in self.histograms.values()) or 1.0
+            rows = [
+                [
+                    name,
+                    f"{int(h['count'])}",
+                    f"{h['total'] * 1000:.2f}",
+                    f"{h['total'] / h['count'] * 1000:.3f}",
+                    f"{h['max'] * 1000:.3f}",
+                    f"{100 * h['total'] / total:.1f}%",
+                ]
+                for name, h in sorted(
+                    self.histograms.items(), key=lambda item: -item[1]["total"]
+                )
+            ]
+            blocks.append(
+                render_table(
+                    ["phase", "calls", "total ms", "mean ms", "max ms", "share"], rows
+                )
+            )
+        if self.counters:
+            rows = [
+                [name, f"{value:g}"] for name, value in sorted(self.counters.items())
+            ]
+            blocks.append(render_table(["counter", "total"], rows))
+        if self.gauges:
+            rows = [
+                [name, f"{g['value']:g}", f"{g['min']:g}", f"{g['max']:g}"]
+                for name, g in sorted(self.gauges.items())
+            ]
+            blocks.append(render_table(["gauge", "last", "min", "max"], rows))
+        return "\n\n".join(blocks) if blocks else "(no metrics recorded)"
+
+    def prometheus(self, prefix: str = "repro") -> str:
+        """A Prometheus text-format dump of every aggregate."""
+
+        def sanitize(name: str) -> str:
+            return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+        lines = []
+        for name, value in sorted(self.counters.items()):
+            metric = f"{prefix}_{sanitize(name)}_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value:g}")
+        for name, gauge in sorted(self.gauges.items()):
+            metric = f"{prefix}_{sanitize(name)}"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {gauge['value']:g}")
+        for name, histogram in sorted(self.histograms.items()):
+            metric = f"{prefix}_{sanitize(name)}_seconds"
+            lines.append(f"# TYPE {metric} summary")
+            lines.append(f"{metric}_count {int(histogram['count'])}")
+            lines.append(f"{metric}_sum {histogram['total']:.9f}")
+        return "\n".join(lines) + ("\n" if lines else "")

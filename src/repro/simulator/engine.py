@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.network.delivery import DeliveryQueue, InFlightMessage, MassLedger
 from repro.metrics.bandwidth import DeliveryMeter
+from repro.obs.probe import NULL_PROBE
 from repro.simulator.host import Host
 from repro.simulator.message import BandwidthMeter, Message
 from repro.simulator.protocol import AggregationProtocol, ExchangeProtocol
@@ -83,6 +84,10 @@ class Simulation:
     store_estimates:
         Retain every host's estimate in every round record (memory-hungry;
         intended for small runs and debugging).
+    probe:
+        A :class:`repro.obs.Probe` receiving round/phase spans, membership
+        and mass-check events, and per-round delivery counters; defaults
+        to the zero-cost :data:`repro.obs.NULL_PROBE`.
 
     Examples
     --------
@@ -114,6 +119,7 @@ class Simulation:
         network=None,
         group_relative: bool = False,
         store_estimates: bool = False,
+        probe=None,
     ):
         if mode not in ("push", "exchange"):
             raise ValueError(f"unknown mode {mode!r}; expected 'push' or 'exchange'")
@@ -149,6 +155,10 @@ class Simulation:
         self.events = sorted(events or [], key=lambda event: event.round)
         self.group_relative = group_relative
         self.store_estimates = store_estimates
+        #: Instrumentation sink (repro.obs).  Probes only observe — they
+        #: never draw from an RNG stream — so any probe leaves the run
+        #: bit-identical to the NULL_PROBE default.
+        self.probe = probe if probe is not None else NULL_PROBE
         self.bandwidth = BandwidthMeter()
         self.network = network
         self.delivery = DeliveryMeter()
@@ -198,6 +208,8 @@ class Simulation:
         self.hosts[host_id] = host
         if hasattr(self.environment, "register_host"):
             self.environment.register_host(host_id)
+        if self.probe.enabled and round_index > 0:
+            self.probe.event("membership", action="join", host=host_id, round=round_index)
         return host
 
     def fail_host(self, host_id: int, round_index: Optional[int] = None) -> None:
@@ -205,6 +217,8 @@ class Simulation:
         if round_index is None:
             round_index = self.round_index
         self.hosts[host_id].fail(round_index)
+        if self.probe.enabled:
+            self.probe.event("membership", action="fail", host=host_id, round=round_index)
 
     def alive_hosts(self) -> List[Host]:
         """Live hosts in identifier order."""
@@ -243,50 +257,80 @@ class Simulation:
     def step(self) -> RoundRecord:
         """Execute exactly one gossip round and return its record."""
         t = self.round_index
-        mass_checkpoint = self._total_state_mass() if self._track_mass else 0.0
-        self._apply_events(t)
-        if self._track_mass:
-            # Events may mint mass (joins) or drop it (graceful departures
-            # with no survivor); both are deliberate, not leaks.
-            mass_checkpoint = self._record_mass_injection(mass_checkpoint)
-        if self.network is not None:
-            self.network.begin_round(t)
-        alive = self.alive_ids()
-        alive_set = set(alive)
-        received_counts: Dict[int, int] = {host_id: 0 for host_id in alive}
+        probe = self.probe
+        with probe.span("round", round=t):
+            mass_checkpoint = self._total_state_mass() if self._track_mass else 0.0
+            with probe.span("events"):
+                self._apply_events(t)
+            if self._track_mass:
+                # Events may mint mass (joins) or drop it (graceful departures
+                # with no survivor); both are deliberate, not leaks.
+                mass_checkpoint = self._record_mass_injection(mass_checkpoint)
+            if self.network is not None:
+                self.network.begin_round(t)
+            alive = self.alive_ids()
+            alive_set = set(alive)
+            received_counts: Dict[int, int] = {host_id: 0 for host_id in alive}
 
-        for host_id in alive:
-            self.protocol.begin_round(self.hosts[host_id].state, t, self._protocol_rng)
-        if self._track_mass:
-            # Epoch restarts re-mint mass inside begin_round by design.
-            mass_checkpoint = self._record_mass_injection(mass_checkpoint)
+            with probe.span("begin_round"):
+                for host_id in alive:
+                    self.protocol.begin_round(
+                        self.hosts[host_id].state, t, self._protocol_rng
+                    )
+            if self._track_mass:
+                # Epoch restarts re-mint mass inside begin_round by design.
+                mass_checkpoint = self._record_mass_injection(mass_checkpoint)
 
-        if self.mode == "push":
-            self._push_round(alive, alive_set, received_counts, t)
-        else:
-            self._exchange_round(alive, alive_set, received_counts, t)
-        if self._track_mass:
-            # The round body may only move mass (host→flight→host) or lose
-            # it through the network — both already on the ledger — so the
-            # books must balance before the protocol's own finalize step.
-            mass_checkpoint = self._total_state_mass()
-            self.mass_ledger.check(
-                mass_checkpoint + self._in_flight.in_flight_mass, round_index=t
+            if self.mode == "push":
+                with probe.span("push"):
+                    self._push_round(alive, alive_set, received_counts, t)
+            else:
+                with probe.span("exchange"):
+                    self._exchange_round(alive, alive_set, received_counts, t)
+            if self._track_mass:
+                # The round body may only move mass (host→flight→host) or lose
+                # it through the network — both already on the ledger — so the
+                # books must balance before the protocol's own finalize step.
+                mass_checkpoint = self._total_state_mass()
+                self.mass_ledger.check(
+                    mass_checkpoint + self._in_flight.in_flight_mass, round_index=t
+                )
+                if probe.enabled:
+                    probe.event(
+                        "mass_check",
+                        round=t,
+                        at_hosts=mass_checkpoint,
+                        in_flight=self._in_flight.in_flight_mass,
+                    )
+
+            with probe.span("finalize"):
+                for host_id in alive:
+                    self.protocol.finalize_round(
+                        self.hosts[host_id].state,
+                        received_counts[host_id],
+                        self._protocol_rng,
+                    )
+            if self._track_mass:
+                # Reversion injects mass towards each initial value by design.
+                self._record_mass_injection(mass_checkpoint)
+
+            if self.network is not None:
+                self.delivery.snapshot_in_flight(t, self._in_flight.in_flight)
+            with probe.span("record"):
+                record = self._record_round(alive, t)
+            self.result.append(record)
+            self.round_index += 1
+        if probe.enabled:
+            probe.event(
+                "round_end",
+                round=t,
+                n_alive=record.n_alive,
+                max_abs_error=record.max_abs_error,
+                messages_delivered=record.messages_delivered,
+                messages_lost=record.messages_lost,
+                bytes_sent=record.bytes_sent,
             )
-
-        for host_id in alive:
-            self.protocol.finalize_round(
-                self.hosts[host_id].state, received_counts[host_id], self._protocol_rng
-            )
-        if self._track_mass:
-            # Reversion injects mass towards each initial value by design.
-            self._record_mass_injection(mass_checkpoint)
-
-        if self.network is not None:
-            self.delivery.snapshot_in_flight(t, self._in_flight.in_flight)
-        record = self._record_round(alive, t)
-        self.result.append(record)
-        self.round_index += 1
+            probe.gauge("n_alive", record.n_alive)
         return record
 
     # ------------------------------------------------------ mass conservation

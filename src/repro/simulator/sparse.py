@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.obs.probe import NULL_PROBE
 from repro.topology.connectivity import connected_components
 
 __all__ = [
@@ -85,6 +86,11 @@ class _Topology:
     """
 
     n: int
+
+    #: Instrumentation sink (:mod:`repro.obs`).  Topologies are cached and
+    #: shared across runs, so the backend installs a run's probe before
+    #: stepping and restores this null default afterwards.
+    probe = NULL_PROBE
 
     def sample_peers(
         self, requesters: np.ndarray, alive: np.ndarray, rng: np.random.Generator
@@ -158,8 +164,9 @@ class _Topology:
         cached = getattr(self, "_components_cache", None)
         if cached is not None and cached[0] == key:
             return cached[1]
-        live = {int(host) for host in np.nonzero(alive)[0]}
-        parts = connected_components(self._live_adjacency(alive), alive=live)
+        with self.probe.span("component_labelling"):
+            live = {int(host) for host in np.nonzero(alive)[0]}
+            parts = connected_components(self._live_adjacency(alive), alive=live)
         self._components_cache = (key, parts)
         return parts
 
@@ -260,19 +267,20 @@ class CSRTopology(_Topology):
         key = alive.tobytes()
         if key == self._live_key:
             return
-        if bool(alive.all()):
-            live_indptr, live_indices = self.indptr, self.indices
-            live_degree = np.diff(self.indptr)
-        else:
-            edge_alive = alive[self.indices]
-            live_degree = np.bincount(
-                self._edge_owner[edge_alive], minlength=self.n
-            ).astype(np.int64)
-            live_indptr = np.zeros(self.n + 1, dtype=np.int64)
-            np.cumsum(live_degree, out=live_indptr[1:])
-            # Boolean masking preserves CSR grouping: indices stay sorted
-            # by owner, so the filtered array is already segment-aligned.
-            live_indices = self.indices[edge_alive]
+        with self.probe.span("csr_rebuild"):
+            if bool(alive.all()):
+                live_indptr, live_indices = self.indptr, self.indices
+                live_degree = np.diff(self.indptr)
+            else:
+                edge_alive = alive[self.indices]
+                live_degree = np.bincount(
+                    self._edge_owner[edge_alive], minlength=self.n
+                ).astype(np.int64)
+                live_indptr = np.zeros(self.n + 1, dtype=np.int64)
+                np.cumsum(live_degree, out=live_indptr[1:])
+                # Boolean masking preserves CSR grouping: indices stay sorted
+                # by owner, so the filtered array is already segment-aligned.
+                live_indices = self.indices[edge_alive]
         self._live_key = key
         self._live_indptr = live_indptr
         self._live_indices = live_indices
@@ -409,10 +417,13 @@ class TraceCSRTopology(_Topology):
         cached = self._csr_cache.get(round_index)
         if cached is not None:
             self._csr_cache.move_to_end(round_index)
+            cached.probe = self.probe
             return cached
-        time = self.time_of_round(round_index)
-        active = (self._start <= time) & (time < self._end)
-        csr = CSRTopology.from_edges(self._u[active], self._v[active], self.n)
+        with self.probe.span("csr_rebuild", round=round_index):
+            time = self.time_of_round(round_index)
+            active = (self._start <= time) & (time < self._end)
+            csr = CSRTopology.from_edges(self._u[active], self._v[active], self.n)
+        csr.probe = self.probe
         self._csr_cache[round_index] = csr
         while len(self._csr_cache) > self._cache_rounds:
             self._csr_cache.popitem(last=False)
@@ -431,11 +442,12 @@ class TraceCSRTopology(_Topology):
         if cached is not None:
             self._labels_by_round.move_to_end(round_index)
             return cached
-        time = self.time_of_round(round_index)
-        in_window = (self._start < time + 1e-9) & (
-            self._end > time - self.group_window_seconds
-        )
-        labels = _min_label_components(self._u[in_window], self._v[in_window], self.n)
+        with self.probe.span("component_labelling", round=round_index):
+            time = self.time_of_round(round_index)
+            in_window = (self._start < time + 1e-9) & (
+                self._end > time - self.group_window_seconds
+            )
+            labels = _min_label_components(self._u[in_window], self._v[in_window], self.n)
         self._labels_by_round[round_index] = labels
         while len(self._labels_by_round) > self._cache_rounds:
             self._labels_by_round.popitem(last=False)

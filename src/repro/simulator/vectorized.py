@@ -40,6 +40,7 @@ from typing import Callable, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.core.cutoff import default_cutoff
+from repro.obs.probe import NULL_PROBE
 from repro.sketches.fm_sketch import PHI
 
 __all__ = [
@@ -111,6 +112,20 @@ class _VectorizedKernel:
     rng: np.random.Generator
     alive: np.ndarray
     round_index: int
+
+    #: Instrumentation sink (:mod:`repro.obs`); the backend swaps a real
+    #: probe in for one run and restores the null default afterwards.
+    #: Probes never draw from ``rng``, so attaching one is bit-neutral.
+    probe = NULL_PROBE
+
+    #: Cumulative network accounting, maintained by every kernel so the
+    #: vectorised path exposes the same delivery series the agent
+    #: engine's RoundRecord carries.  One pairwise exchange counts as two
+    #: messages and self-messages cost no radio bytes, matching
+    #: :class:`repro.simulator.message.BandwidthMeter`.
+    messages_delivered: int = 0
+    messages_lost: int = 0
+    bytes_sent: int = 0
 
     def step(self) -> None:
         """Execute one gossip round over the live hosts."""
@@ -318,6 +333,7 @@ class VectorizedPushSumRevert(_ValueKernel):
         #: pairwise exchange counts as two, matching the agent engine).
         self.messages_delivered = 0
         self.messages_lost = 0
+        self.bytes_sent = 0
         self.rng = np.random.default_rng(seed)
         self.alive = np.ones(self.n, dtype=bool)
         self.weight = np.ones(self.n, dtype=float)
@@ -353,13 +369,14 @@ class VectorizedPushSumRevert(_ValueKernel):
         self.round_index += 1
 
     def _step_matching(self, alive_idx: np.ndarray) -> None:
-        if self.topology is not None:
-            left, right = self.topology.sample_matching(alive_idx, self.alive, self.rng)
-        else:
-            order = self.rng.permutation(alive_idx)
-            pair_count = order.size // 2
-            left = order[:pair_count]
-            right = order[pair_count : 2 * pair_count]
+        with self.probe.span("matching"):
+            if self.topology is not None:
+                left, right = self.topology.sample_matching(alive_idx, self.alive, self.rng)
+            else:
+                order = self.rng.permutation(alive_idx)
+                pair_count = order.size // 2
+                left = order[:pair_count]
+                right = order[pair_count : 2 * pair_count]
         pair_count = left.size
         if self.loss > 0.0:
             # A lossy link makes the atomic exchange not happen: the pair
@@ -368,18 +385,30 @@ class VectorizedPushSumRevert(_ValueKernel):
             left = left[kept]
             right = right[kept]
             self.messages_lost += 2 * int(pair_count - left.size)
+            # The initiator's half still crossed the radio (agent parity:
+            # record_lost_exchange); the reply never happened.
+            self.bytes_sent += 16 * int(pair_count - left.size)
         self.messages_delivered += 2 * int(left.size)
-        mean_weight = (self.weight[left] + self.weight[right]) / 2.0
-        mean_total = (self.total[left] + self.total[right]) / 2.0
-        self.weight[left] = mean_weight
-        self.weight[right] = mean_weight
-        self.total[left] = mean_total
-        self.total[right] = mean_total
+        self.bytes_sent += 32 * int(left.size)  # 16 bytes each way per exchange
+        with self.probe.span("scatter"):
+            mean_weight = (self.weight[left] + self.weight[right]) / 2.0
+            mean_total = (self.total[left] + self.total[right]) / 2.0
+            self.weight[left] = mean_weight
+            self.weight[right] = mean_weight
+            self.total[left] = mean_total
+            self.total[right] = mean_total
 
     def _step_push(self, alive_idx: np.ndarray) -> None:
         # Hosts whose live neighbourhood is empty drop out of `senders` and
         # keep their whole mass (the agent engine's isolated-host rule).
-        senders, targets = _draw_push_targets(self.topology, alive_idx, self.alive, self.rng)
+        with self.probe.span("sampling"):
+            senders, targets = _draw_push_targets(
+                self.topology, alive_idx, self.alive, self.rng
+            )
+        # Radio bytes are spent when the half is pushed, lost or not
+        # (agent parity: the bandwidth meter records before the network
+        # plans); self-messages never touch the radio.
+        self.bytes_sent += 16 * int(np.count_nonzero(targets != senders))
         outgoing_weight = self.weight[senders] / 2.0
         outgoing_total = self.total[senders] / 2.0
         new_weight = np.zeros(self.n, dtype=float)
@@ -400,8 +429,9 @@ class VectorizedPushSumRevert(_ValueKernel):
             outgoing_weight = outgoing_weight[kept]
             outgoing_total = outgoing_total[kept]
         self.messages_delivered += int(targets.size)
-        np.add.at(new_weight, targets, outgoing_weight)
-        np.add.at(new_total, targets, outgoing_total)
+        with self.probe.span("scatter"):
+            np.add.at(new_weight, targets, outgoing_weight)
+            np.add.at(new_total, targets, outgoing_total)
         received = np.zeros(self.n, dtype=np.int64)
         np.add.at(received, targets, 1)
         received[alive_idx] += 1  # the self-message
@@ -424,6 +454,9 @@ class VectorizedPushSumRevert(_ValueKernel):
         new_total = np.zeros(self.n, dtype=float)
         for _ in range(self.parcels):
             targets = alive_idx[self.rng.integers(0, alive_idx.size, size=alive_idx.size)]
+            # Every non-self parcel costs radio bytes whether or not the
+            # network then loses it (agent parity).
+            self.bytes_sent += 16 * int(np.count_nonzero(targets != alive_idx))
             if self.loss > 0.0:
                 # Every parcel is a message; lost parcels drain mass.
                 kept = self.rng.random(alive_idx.size) >= self.loss
@@ -648,27 +681,35 @@ class VectorizedCountSketchReset(_VectorizedKernel):
             self.round_index += 1
             return
         # Phase 1: age every counter except the owned positions of live hosts.
-        live_counters = self.counters[alive_idx]
-        live_counters = np.minimum(live_counters + 1, _COUNTER_INFINITY).astype(np.int16)
-        live_own = self.own_mask[alive_idx]
-        live_counters[live_own] = 0
-        self.counters[alive_idx] = live_counters
+        with self.probe.span("ageing"):
+            live_counters = self.counters[alive_idx]
+            live_counters = np.minimum(live_counters + 1, _COUNTER_INFINITY).astype(np.int16)
+            live_own = self.own_mask[alive_idx]
+            live_counters[live_own] = 0
+            self.counters[alive_idx] = live_counters
         # Phase 2: gossip.  Each live host sends its array to one random live
         # peer (a live graph neighbour under a topology); receivers take the
         # element-wise min.  With pull enabled the sender also merges the
         # (pre-round) array of its target.
         if alive_idx.size >= 2:
-            senders, targets = _draw_push_targets(
-                self.topology, alive_idx, self.alive, self.rng
-            )
-            before = self.counters.copy() if self.pull else None
-            np.minimum.at(self.counters, targets, self.counters[senders])
-            if self.pull:
-                # Fancy indexing returns copies, so write the merged result
-                # back explicitly rather than relying on an `out=` view.
-                self.counters[senders] = np.minimum(self.counters[senders], before[targets])
-            # Owned positions stay pinned at zero regardless of merges.
-            self.counters[self.own_mask & self.alive[:, None, None]] = 0
+            with self.probe.span("sampling"):
+                senders, targets = _draw_push_targets(
+                    self.topology, alive_idx, self.alive, self.rng
+                )
+            non_self = int(np.count_nonzero(targets != senders))
+            payload_bytes = 2 * self.bins * self.bits  # agent parity: 2 B/counter
+            legs = 2 if self.pull else 1  # the pull reply is a second array
+            self.messages_delivered += legs * non_self
+            self.bytes_sent += legs * payload_bytes * non_self
+            with self.probe.span("scatter"):
+                before = self.counters.copy() if self.pull else None
+                np.minimum.at(self.counters, targets, self.counters[senders])
+                if self.pull:
+                    # Fancy indexing returns copies, so write the merged result
+                    # back explicitly rather than relying on an `out=` view.
+                    self.counters[senders] = np.minimum(self.counters[senders], before[targets])
+                # Owned positions stay pinned at zero regardless of merges.
+                self.counters[self.own_mask & self.alive[:, None, None]] = 0
         self.round_index += 1
 
     # -------------------------------------------------------------- estimates
@@ -780,13 +821,21 @@ class VectorizedSketchCount(_VectorizedKernel):
         """Execute one gossip round over the live hosts."""
         alive_idx = np.nonzero(self.alive)[0]
         if alive_idx.size >= 2:
-            senders, targets = _draw_push_targets(
-                self.topology, alive_idx, self.alive, self.rng
-            )
-            before = self.matrix.copy() if self.pull else None
-            np.logical_or.at(self.matrix, targets, self.matrix[senders])
-            if self.pull:
-                self.matrix[senders] = np.logical_or(self.matrix[senders], before[targets])
+            with self.probe.span("sampling"):
+                senders, targets = _draw_push_targets(
+                    self.topology, alive_idx, self.alive, self.rng
+                )
+            non_self = int(np.count_nonzero(targets != senders))
+            # Agent parity: a boolean sketch packs to one bit per position.
+            payload_bytes = int(np.ceil(self.bins * self.bits / 8))
+            legs = 2 if self.pull else 1
+            self.messages_delivered += legs * non_self
+            self.bytes_sent += legs * payload_bytes * non_self
+            with self.probe.span("scatter"):
+                before = self.matrix.copy() if self.pull else None
+                np.logical_or.at(self.matrix, targets, self.matrix[senders])
+                if self.pull:
+                    self.matrix[senders] = np.logical_or(self.matrix[senders], before[targets])
         self.round_index += 1
 
     # -------------------------------------------------------------- estimates
@@ -888,13 +937,18 @@ class VectorizedExtrema(_ValueKernel):
         # Pairwise exchange over a random perfect matching (or a matching
         # along sampled graph edges when a topology restricts gossip).
         if alive_idx.size >= 2:
-            if self.topology is not None:
-                left, right = self.topology.sample_matching(alive_idx, self.alive, self.rng)
-            else:
-                order = self.rng.permutation(alive_idx)
-                pair_count = order.size // 2
-                left = order[:pair_count]
-                right = order[pair_count : 2 * pair_count]
+            with self.probe.span("matching"):
+                if self.topology is not None:
+                    left, right = self.topology.sample_matching(
+                        alive_idx, self.alive, self.rng
+                    )
+                else:
+                    order = self.rng.permutation(alive_idx)
+                    pair_count = order.size // 2
+                    left = order[:pair_count]
+                    right = order[pair_count : 2 * pair_count]
+            self.messages_delivered += 2 * int(left.size)
+            self.bytes_sent += 32 * int(left.size)  # 16 bytes each way
             left_better = (
                 self.best_value[left] > self.best_value[right]
                 if self.maximum

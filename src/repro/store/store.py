@@ -34,6 +34,7 @@ import sqlite3
 import time
 from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional
 
+from repro.obs.probe import NULL_PROBE
 from repro.simulator.result import SimulationResult
 from repro.store.fingerprint import code_fingerprint
 
@@ -69,7 +70,7 @@ CREATE TABLE IF NOT EXISTS results (
 class ResultStore:
     """Content-addressed experiment results under one cache directory."""
 
-    def __init__(self, root: str = DEFAULT_CACHE_DIR):
+    def __init__(self, root: str = DEFAULT_CACHE_DIR, *, probe=None):
         self.root = os.path.abspath(root)
         self._blob_root = os.path.join(self.root, "blobs")
         os.makedirs(self._blob_root, exist_ok=True)
@@ -78,6 +79,9 @@ class ResultStore:
             connection.execute(_TABLE)
         #: Counters for this store handle's lifetime (reported by the CLI).
         self.session: Dict[str, int] = {"hits": 0, "misses": 0, "puts": 0}
+        #: Optional :mod:`repro.obs` observer: hit/miss counts and blob-IO
+        #: latency spans.  Defaults to the zero-cost null probe.
+        self.probe = probe if probe is not None else NULL_PROBE
 
     # ------------------------------------------------------------------ plumbing
     @contextlib.contextmanager
@@ -139,21 +143,22 @@ class ResultStore:
                 (key,),
             ).fetchone()
         if row is None:
-            self.session["misses"] += 1
+            self._miss()
             return None
         schema_version, protocol, fingerprint = row
         if self._is_stale(schema_version, protocol, fingerprint):
             self._drop(key)
-            self.session["misses"] += 1
+            self._miss()
             return None
         try:
-            with gzip.open(self._blob_path(key), "rt", encoding="utf-8") as handle:
-                payload = json.load(handle)
-            result = SimulationResult.from_payload(payload)
+            with self.probe.span("blob_read"):
+                with gzip.open(self._blob_path(key), "rt", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                result = SimulationResult.from_payload(payload)
         except (OSError, EOFError, ValueError, KeyError, TypeError):
             # Missing or corrupt blob: heal the index and report a miss.
             self._drop(key)
-            self.session["misses"] += 1
+            self._miss()
             return None
         now = time.time()
         with self._connect() as connection:
@@ -162,7 +167,14 @@ class ResultStore:
                 (now, key),
             )
         self.session["hits"] += 1
+        if self.probe.enabled:
+            self.probe.count("store.hits")
         return result
+
+    def _miss(self) -> None:
+        self.session["misses"] += 1
+        if self.probe.enabled:
+            self.probe.count("store.misses")
 
     def contains(self, spec: "ScenarioSpec") -> bool:
         """Whether ``get(spec)`` would hit (without reading the blob)."""
@@ -186,14 +198,15 @@ class ResultStore:
         key = self._key(spec)
         blob_path = self._blob_path(key)
         os.makedirs(os.path.dirname(blob_path), exist_ok=True)
-        payload = json.dumps(result.to_payload(), separators=(",", ":"))
-        # ``mtime=0`` keeps equal payloads byte-identical on disk; the temp
-        # file + replace makes a concurrent reader see old-or-new, never half.
-        blob = gzip.compress(payload.encode("utf-8"), mtime=0)
-        tmp_path = f"{blob_path}.tmp.{os.getpid()}"
-        with open(tmp_path, "wb") as handle:
-            handle.write(blob)
-        os.replace(tmp_path, blob_path)
+        with self.probe.span("blob_write"):
+            payload = json.dumps(result.to_payload(), separators=(",", ":"))
+            # ``mtime=0`` keeps equal payloads byte-identical on disk; the temp
+            # file + replace makes a concurrent reader see old-or-new, never half.
+            blob = gzip.compress(payload.encode("utf-8"), mtime=0)
+            tmp_path = f"{blob_path}.tmp.{os.getpid()}"
+            with open(tmp_path, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_path, blob_path)
         now = time.time()
         with self._connect() as connection:
             connection.execute(
@@ -214,6 +227,8 @@ class ResultStore:
                 ),
             )
         self.session["puts"] += 1
+        if self.probe.enabled:
+            self.probe.count("store.puts")
         return key
 
     # --------------------------------------------------------------- management

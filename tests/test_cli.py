@@ -387,3 +387,56 @@ class TestBenchCommand:
         assert "error: cannot write" in captured.err
         # The timings themselves were still printed before the failure.
         assert "speedup" in captured.out
+
+
+class TestObsCommands:
+    RUN_FLAGS = ["run", "--protocol", "push-sum-revert", "--hosts", "60",
+                 "--rounds", "6", "--seed", "3"]
+
+    def test_run_trace_flag_keeps_stdout_identical(self, tmp_path, capsys):
+        assert main(list(self.RUN_FLAGS)) == 0
+        bare = capsys.readouterr().out
+        trace_path = tmp_path / "run.jsonl"
+        assert main([*self.RUN_FLAGS, "--trace", str(trace_path)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == bare  # all obs output goes to stderr
+        assert "trace:" in captured.err
+        assert trace_path.exists()
+
+    def test_run_metrics_flag_prints_phase_table_to_stderr(self, capsys):
+        assert main([*self.RUN_FLAGS, "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert "phase" in captured.err and "total ms" in captured.err
+        assert "phase" not in captured.out
+
+    def test_obs_report_renders_recorded_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        assert main([*self.RUN_FLAGS, "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace_path), "--every", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Phase-time breakdown" in out
+        assert "Per-round counters" in out
+        assert "messages_delivered" in out
+
+    def test_obs_report_missing_file_is_clean(self, capsys):
+        assert main(["obs", "report", "/nonexistent/trace.jsonl"]) == 2
+        assert "error: cannot read" in capsys.readouterr().err
+
+    def test_sweep_progress_and_trace(self, tmp_path, capsys):
+        import json as json_module
+
+        config = tmp_path / "sweep.json"
+        config.write_text(json_module.dumps({
+            "base": {"protocol": "push-sum-revert", "n_hosts": 50, "rounds": 5},
+            "axes": {"seed": [0, 1]},
+        }))
+        trace_path = tmp_path / "sweep.jsonl"
+        exit_code = main(["sweep", "--config", str(config), "--serial",
+                          "--progress", "--trace", str(trace_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        heartbeats = [line for line in captured.err.splitlines()
+                      if line.startswith("[sweep")]
+        assert len(heartbeats) == 2 and "executed" in heartbeats[0]
+        assert trace_path.exists()
