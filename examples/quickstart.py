@@ -38,7 +38,13 @@ This script walks through the library's core workflow both ways:
    to the churn scenario, prove the instrumented run is bit-identical to
    the bare one, and render the recorded phase-time/per-round breakdown
    — the CLI equivalents are ``run --trace out.jsonl --metrics`` and
-   ``repro-aggregate obs report out.jsonl``.
+   ``repro-aggregate obs report out.jsonl``;
+10. scale the asynchronous scenario to n = 10⁴ on the *bucketed
+    vectorised calendar* (``repro.events.vectorized``, DESIGN.md §14):
+    ``backend="auto"`` resolves ``engine="events"`` to the vectorised
+    backend for Push-Sum-Revert over uniform gossip, draining the event
+    calendar per time bucket through whole-subset kernel calls — the
+    population the agent calendar crawls through runs in seconds.
 
 The spec also round-trips through JSON, which is exactly what
 ``repro-aggregate run --config`` and ``repro-aggregate sweep`` consume.
@@ -229,8 +235,10 @@ def main() -> None:
         network_params={"distribution": "uniform", "low": 0, "high": 2},
         events=(),
     )
-    assert asynchronous.resolved_backend() == "agent"  # no vectorised calendar
-    clocked = run_scenario(asynchronous)
+    # This combination has a vectorised calendar too (path 10); pin the
+    # agent realisation here to show the reference event loop first.
+    assert asynchronous.resolved_backend() == "vectorized"
+    clocked = run_scenario(asynchronous.replace(backend="agent"))
     print(
         f"\nEvent engine, heterogeneous clocks (half the hosts 8x slower) over a "
         f"0-2 s latency network: error {clocked.final_error():.2f} at "
@@ -292,6 +300,25 @@ def main() -> None:
         f"records and stayed bit-identical to the bare run.\n"
     )
     print(render_report(trace.records, every=10))
+
+    # Path 10: the same asynchronous scenario, ten times the population,
+    # on the bucketed vectorised calendar (repro.events.vectorized,
+    # DESIGN.md §14).  "auto" resolves engine="events" to the vectorised
+    # backend here, so the calendar drains per time bucket through
+    # whole-subset kernel calls instead of one Python callback per event.
+    big_async = asynchronous.replace(
+        name="quickstart-fast-asynchronous-sweep", n_hosts=10_000,
+    )
+    assert big_async.resolved_backend() == "vectorized"
+    start = time.perf_counter()
+    fast = run_scenario(big_async)
+    fast_seconds = time.perf_counter() - start
+    print(
+        f"\nBucketed vectorised calendar: the heterogeneous-clock latency "
+        f"scenario at n=10,000 finished in {fast_seconds:.1f} s on the "
+        f"{fast.metadata['backend']} backend (error {fast.final_error():.2f} "
+        f"at t={fast.times()[-1]:.0f} s)."
+    )
 
 
 if __name__ == "__main__":

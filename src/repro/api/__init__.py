@@ -29,6 +29,13 @@ from repro.api.backends import (
     VectorizedBackend,
     resolve_backend,
 )
+from repro.api.plan import (
+    ExecutionPlan,
+    PlanRejectionError,
+    Rejection,
+    capability_matrix,
+    resolve_plan,
+)
 from repro.api.registry import (
     ENVIRONMENTS,
     FAILURES,
@@ -51,7 +58,12 @@ __all__ = [
     "BACKENDS",
     "ENVIRONMENTS",
     "ExecutionBackend",
+    "ExecutionPlan",
     "FAILURES",
+    "PlanRejectionError",
+    "Rejection",
+    "capability_matrix",
+    "resolve_plan",
     "NAMED_CUTOFFS",
     "NETWORKS",
     "PROTOCOLS",

@@ -39,6 +39,17 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.plan import (
+    AUTO,
+    _KERNEL_TABLE,
+    _LOSSY_KERNEL_PROTOCOLS,
+    _VECTOR_ENVIRONMENTS,
+    _VECTOR_FAILURE_MODELS,
+    ExecutionPlan,
+    PlanRejectionError,
+    resolve_plan,
+    vectorized_rejections,
+)
 from repro.api.registry import ENVIRONMENTS, FAILURES, PROTOCOLS, Registry, _grid_dimensions
 from repro.failures.models import CorrelatedFailure, ExplicitFailure, UncorrelatedFailure
 from repro.metrics.recorder import SeriesRecorder
@@ -66,8 +77,6 @@ __all__ = [
     "validate_backend",
 ]
 
-#: The pseudo-backend resolved per scenario at run time.
-AUTO = "auto"
 
 @lru_cache(maxsize=None)
 def _environment_default(environment: str, param: str):
@@ -90,71 +99,9 @@ def _environment_default(environment: str, param: str):
 _TOPOLOGY_CACHE: "OrderedDict[Tuple[str, str, int], Tuple[object, str]]" = OrderedDict()
 _TOPOLOGY_CACHE_SIZE = 8
 
-#: Failure models the vectorised event loop can apply.
-_VECTOR_FAILURE_MODELS = ("uncorrelated", "correlated", "explicit")
-
-#: Environments with a vectorised peer sampler: uniform gossip, the
-#: static graph topologies realised by :mod:`repro.simulator.sparse`, and
-#: contact traces compiled into a per-round time-varying CSR
-#: (neighbourhood environments built from raw adjacency maps stay
-#: agent-only).
-_VECTOR_ENVIRONMENTS = (
-    "uniform",
-    "ring",
-    "grid",
-    "random-geometric",
-    "erdos-renyi",
-    "spatial-grid",
-    "trace",
-)
-
-#: Protocols whose kernels take a Bernoulli ``loss`` probability, so the
-#: common lossy case still resolves to the fast path under ``"auto"``.
-_LOSSY_KERNEL_PROTOCOLS = frozenset({"push-sum-revert", "push-sum-revert-full-transfer"})
-
-#: Per-protocol kernel capabilities: accepted constructor parameters, the
-#: engine modes the kernel can realise, whether the kernel carries
-#: per-host values (needed by correlated failures and value changes), and
-#: whether it accepts a :mod:`~repro.simulator.sparse` topology (only
-#: Full-Transfer's multi-parcel fan-out is uniform-only).
-_KERNEL_TABLE: Dict[str, Dict[str, object]] = {
-    "push-sum-revert": {
-        "params": frozenset({"reversion", "adaptive"}),
-        "modes": ("exchange", "push"),
-        "has_values": True,
-        "topology": True,
-    },
-    "push-sum-revert-full-transfer": {
-        "params": frozenset({"reversion", "parcels", "history"}),
-        "modes": ("push",),
-        "has_values": True,
-        "topology": False,
-    },
-    "count-sketch-reset": {
-        "params": frozenset({"bins", "bits", "cutoff", "identifiers_per_host"}),
-        "modes": ("exchange", "push"),
-        "has_values": False,
-        "topology": True,
-    },
-    "sketch-count": {
-        "params": frozenset({"bins", "bits", "identifiers_per_host"}),
-        "modes": ("exchange", "push"),
-        "has_values": False,
-        "topology": True,
-    },
-    "extrema-gossip": {
-        "params": frozenset({"maximum"}),
-        "modes": ("exchange",),
-        "has_values": True,
-        "topology": True,
-    },
-    "extrema-reset": {
-        "params": frozenset({"maximum", "cutoff"}),
-        "modes": ("exchange",),
-        "has_values": True,
-        "topology": True,
-    },
-}
+# Capability constants (`_KERNEL_TABLE`, `_VECTOR_ENVIRONMENTS`, ...) moved
+# to :mod:`repro.api.plan` with the structured ExecutionPlan layer; they are
+# re-imported above so existing references keep resolving.
 
 
 class ExecutionBackend:
@@ -220,97 +167,16 @@ class VectorizedBackend(ExecutionBackend):
 
     # ------------------------------------------------------------ capability
     def supports(self, spec: "ScenarioSpec") -> Optional[str]:
-        entry = _KERNEL_TABLE.get(spec.protocol)
-        if spec.engine == "events":
-            return (
-                "the event-driven engine (engine='events') has no vectorised "
-                "realisation"
-            )
-        if spec.environment not in _VECTOR_ENVIRONMENTS:
-            known = ", ".join(repr(name) for name in _VECTOR_ENVIRONMENTS)
-            return (
-                f"environment {spec.environment!r} is not vectorised "
-                f"(vectorised environments: {known})"
-            )
-        if spec.environment != "uniform" and entry is not None and not entry["topology"]:
-            return (
-                f"protocol {spec.protocol!r} is only vectorised under uniform gossip "
-                f"(its kernel takes no topology); environment {spec.environment!r} "
-                "requires the agent engine"
-            )
-        if spec.environment == "trace" and bool(spec.environment_params.get("broadcast", False)):
-            return (
-                "broadcast trace gossip (every in-range neighbour hears each send) "
-                "is not vectorised; it requires the agent engine"
-            )
-        if spec.group_relative and spec.environment == "uniform":
-            return (
-                "group-relative error accounting needs an environment that defines "
-                "groups (ring, grid, random-geometric, erdos-renyi or spatial-grid)"
-            )
-        if spec.network != "perfect":
-            if spec.network != "bernoulli-loss":
-                return (
-                    f"network model {spec.network!r} is not vectorised "
-                    "(kernels support 'perfect' and 'bernoulli-loss' only)"
-                )
-            if spec.protocol not in _LOSSY_KERNEL_PROTOCOLS:
-                lossy = ", ".join(sorted(_LOSSY_KERNEL_PROTOCOLS))
-                return (
-                    f"Bernoulli message loss is only vectorised for {lossy}; "
-                    f"protocol {spec.protocol!r} under a lossy network requires "
-                    "the agent engine"
-                )
-        if entry is None:
-            supported = ", ".join(sorted(_KERNEL_TABLE))
-            return f"protocol {spec.protocol!r} has no vectorised kernel (kernels: {supported})"
-        if spec.mode not in entry["modes"]:
-            modes = " or ".join(repr(mode) for mode in entry["modes"])
-            return f"protocol {spec.protocol!r} is only vectorised in mode {modes}"
-        unknown = set(spec.protocol_params) - entry["params"]
-        if unknown:
-            return (
-                f"protocol parameter(s) {sorted(unknown)} are not supported by the "
-                f"vectorised {spec.protocol!r} kernel"
-            )
-        for event in spec.events:
-            kind = event["event"]
-            if kind == "failure":
-                if event["model"] not in _VECTOR_FAILURE_MODELS:
-                    models = ", ".join(_VECTOR_FAILURE_MODELS)
-                    return (
-                        f"failure model {event['model']!r} is not vectorised "
-                        f"(supported models: {models})"
-                    )
-            elif kind == "value-change":
-                if not entry["has_values"]:
-                    return (
-                        f"value-change events need a value-carrying kernel; "
-                        f"{spec.protocol!r} aggregates counts"
-                    )
-            elif kind == "join":
-                if spec.environment != "uniform":
-                    return (
-                        "'join' events are only vectorised under uniform gossip "
-                        "(a static or trace topology has no slots for new hosts); "
-                        f"environment {spec.environment!r} requires the agent engine"
-                    )
-            elif kind == "churn":
-                if event["model"] not in _VECTOR_FAILURE_MODELS:
-                    models = ", ".join(_VECTOR_FAILURE_MODELS)
-                    return (
-                        f"churn failure model {event['model']!r} is not vectorised "
-                        f"(supported models: {models})"
-                    )
-                if int(event.get("arrivals_per_round", 0)) > 0 and spec.environment != "uniform":
-                    return (
-                        "churn with arrivals is only vectorised under uniform gossip "
-                        "(a static or trace topology has no slots for new hosts); "
-                        f"environment {spec.environment!r} requires the agent engine"
-                    )
-            else:
-                return f"{kind!r} events require the agent engine"
-        return None
+        """Deprecated string shim over :func:`repro.api.plan.vectorized_rejections`.
+
+        Kept so external callers of the old ``supports() -> Optional[str]``
+        protocol keep working; in-tree dispatch goes through
+        :func:`repro.api.plan.resolve_plan`, which exposes *all* rejections
+        as structured ``(axis, feature, reason)`` records instead of just
+        the first sentence returned here.
+        """
+        rejections = vectorized_rejections(spec)
+        return rejections[0].reason if rejections else None
 
     # ---------------------------------------------------------- construction
     @staticmethod
@@ -401,9 +267,13 @@ class VectorizedBackend(ExecutionBackend):
         ``topology`` short-circuits :meth:`build_topology` when the caller
         already built one (the run loop reuses it for group accounting).
         """
-        reason = self.supports(spec)
-        if reason is not None:
-            raise ValueError(f"backend 'vectorized' cannot run this scenario: {reason}")
+        rejections = tuple(vectorized_rejections(spec))
+        if rejections:
+            raise PlanRejectionError(
+                f"backend 'vectorized' cannot run this scenario: {rejections[0].reason}",
+                rejections=rejections,
+                nearest=ExecutionPlan(engine=spec.engine, backend="agent", rejections=rejections),
+            )
         if topology is None and spec.environment != "uniform":
             topology, _environment_name = self.build_topology(spec)
         params = spec._resolved_protocol_params()
@@ -464,9 +334,22 @@ class VectorizedBackend(ExecutionBackend):
 
     # -------------------------------------------------------------- execution
     def run(self, spec: "ScenarioSpec", probe=NULL_PROBE) -> SimulationResult:
-        reason = self.supports(spec)
-        if reason is not None:
-            raise ValueError(f"backend 'vectorized' cannot run this scenario: {reason}")
+        rejections = tuple(vectorized_rejections(spec))
+        if rejections:
+            raise PlanRejectionError(
+                f"backend 'vectorized' cannot run this scenario: {rejections[0].reason}",
+                rejections=rejections,
+                nearest=ExecutionPlan(engine=spec.engine, backend="agent", rejections=rejections),
+            )
+        if spec.engine == "events":
+            # The bucketed event-calendar runner; lives in repro.events to
+            # keep the continuous-time machinery together.  It reuses this
+            # backend's kernel construction, event application and round
+            # recording, so it takes the backend instance rather than
+            # re-importing (which would cycle).
+            from repro.events.vectorized import run_vectorized_events
+
+            return run_vectorized_events(self, spec, probe=probe)
         with probe.span("build", backend=self.name):
             topology, environment_name = self.build_topology(spec)
             kernel = self.build_kernel(spec, topology=topology)
@@ -739,10 +622,7 @@ BACKENDS.register("vectorized", VectorizedBackend())
 
 def resolve_backend(spec: "ScenarioSpec") -> str:
     """The concrete backend name ``spec`` will run on (``"auto"`` resolved)."""
-    if spec.backend == AUTO:
-        vectorized = BACKENDS.get("vectorized")
-        return "vectorized" if vectorized.supports(spec) is None else "agent"
-    return spec.backend
+    return resolve_plan(spec).backend
 
 
 def validate_backend(spec: "ScenarioSpec") -> None:
@@ -751,18 +631,23 @@ def validate_backend(spec: "ScenarioSpec") -> None:
     ``backend="auto"`` always validates (it can fall back to the agent
     engine); an explicit backend must exist and must support the scenario,
     so a typo or an unsupported combination fails with an actionable
-    message instead of surfacing mid-run inside a process pool.
+    message instead of surfacing mid-run inside a process pool.  The
+    error is a :class:`~repro.api.plan.PlanRejectionError` carrying every
+    structured rejection plus the nearest runnable plan.
     """
     if spec.backend == AUTO:
         return
     if spec.backend not in BACKENDS:
         known = ", ".join(sorted([AUTO, *BACKENDS.keys()]))
         raise ValueError(f"unknown backend {spec.backend!r}; expected one of: {known}")
-    reason = BACKENDS.get(spec.backend).supports(spec)
-    if reason is not None:
-        raise ValueError(
-            f"backend {spec.backend!r} cannot run this scenario: {reason}; "
-            "use backend='agent' (or 'auto' to fall back automatically)"
+    plan = resolve_plan(spec)
+    if not plan.runnable:
+        raise PlanRejectionError(
+            f"backend {spec.backend!r} cannot run this scenario: "
+            f"{plan.rejections[0].reason}; "
+            "use backend='agent' (or 'auto' to fall back automatically)",
+            rejections=plan.rejections,
+            nearest=plan.nearest_runnable(),
         )
 
 
@@ -795,8 +680,9 @@ def run_with_backend(
         if probe.enabled:
             probe.event("store", outcome="miss", spec=spec.name)
     with probe.span("resolve"):
-        name = resolve_backend(spec)
-    result = BACKENDS.get(name).run(spec, probe=probe)
+        plan = resolve_plan(spec)
+    result = BACKENDS.get(plan.backend).run(spec, probe=probe)
+    name = plan.backend
     result.metadata.setdefault("backend", name)
     if store is not None:
         with probe.span("store_put"):

@@ -189,8 +189,11 @@ class ScenarioSpec:
         ``1.0``), ``rates`` (per-host gossip-rate distribution —
         ``uniform``, ``heterogeneous`` or ``lognormal``; see
         :mod:`repro.events.clocks`), ``synchronized`` (host clocks on the
-        global grid, default ``True``) and ``mass_check`` (``"sample"`` /
-        ``"event"`` / ``"off"``).  All validated eagerly.
+        global grid, default ``True``), ``mass_check`` (``"sample"`` /
+        ``"event"`` / ``"off"``) and ``batch_quantum`` (bucket width in
+        simulated seconds for the *vectorised* event calendar — default
+        the tick grid; the agent event engine ignores it).  All
+        validated eagerly.
     events:
         Scheduled membership events as plain dicts, e.g.
         ``{"event": "failure", "round": 20, "model": "uncorrelated",
@@ -316,7 +319,10 @@ class ScenarioSpec:
                     "the round engine is configured by 'rounds' and 'mode'"
                 )
             return
-        allowed = {"duration", "sample_interval", "rates", "synchronized", "mass_check"}
+        allowed = {
+            "duration", "sample_interval", "rates", "synchronized", "mass_check",
+            "batch_quantum",
+        }
         unknown = set(params) - allowed
         if unknown:
             raise ValueError(
@@ -346,6 +352,17 @@ class ScenarioSpec:
             raise ValueError(
                 f"engine_params['mass_check'] must be 'sample', 'event' or 'off', "
                 f"got {mass_check!r}"
+            )
+        batch_quantum = params.get("batch_quantum")
+        if batch_quantum is not None and (
+            isinstance(batch_quantum, bool)
+            or not isinstance(batch_quantum, (int, float))
+            or batch_quantum <= 0
+        ):
+            raise ValueError(
+                f"engine_params['batch_quantum'] must be a positive number of "
+                f"simulated seconds (the vectorised calendar's bucket width), "
+                f"got {batch_quantum!r}"
             )
         rates = params.get("rates")
         if rates is None:
@@ -414,6 +431,11 @@ class ScenarioSpec:
             "rates": dict(params.get("rates") or {"distribution": "uniform", "rate": 1.0}),
             "synchronized": bool(params.get("synchronized", True)),
             "mass_check": params.get("mass_check", "sample"),
+            "batch_quantum": (
+                float(params["batch_quantum"])
+                if params.get("batch_quantum") is not None
+                else None
+            ),
         }
 
     # ------------------------------------------------------------- construction

@@ -14,7 +14,11 @@ Subcommands
 
 ``list``
     List the registered protocols, environments, failure models and
-    workloads a scenario can name.
+    workloads a scenario can name.  ``--capabilities`` renders the
+    engine x backend x feature matrix instead: which protocols run
+    vectorised under each engine, which kernels exist, and the first
+    blocking feature for every non-vectorisable cell (see
+    :func:`repro.api.plan.capability_matrix`).
 
 ``cache``
     Inspect and manage the content-addressed result store
@@ -220,8 +224,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_arguments(sweep)
     _add_obs_arguments(sweep)
 
-    subparsers.add_parser(
+    list_parser = subparsers.add_parser(
         "list", help="list the registered protocols, environments, failures and workloads"
+    )
+    list_parser.add_argument(
+        "--capabilities", action="store_true",
+        help="render the engine x backend x feature capability matrix instead "
+             "(which protocols run vectorised under each engine, and why not)",
     )
 
     cache = subparsers.add_parser(
@@ -344,6 +353,27 @@ def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
     return ScenarioSpec.from_dict(payload)
 
 
+def _print_scenario_error(error: Exception) -> None:
+    """``error: ...`` on stderr; plan rejections get their structured detail.
+
+    A :class:`repro.api.plan.PlanRejectionError` carries every blocking
+    (axis, feature, reason) triple plus the nearest runnable plan — print
+    them all so the user can fix the spec (or switch backend) in one go.
+    """
+    from repro.api.plan import PlanRejectionError
+
+    print(f"error: {error}", file=sys.stderr)
+    if isinstance(error, PlanRejectionError):
+        for rejection in error.rejections:
+            print(f"  [{rejection.axis}] {rejection.feature}: {rejection.reason}", file=sys.stderr)
+        if error.nearest is not None:
+            print(
+                f"nearest runnable plan: engine={error.nearest.engine!r} "
+                f"backend={error.nearest.backend!r}",
+                file=sys.stderr,
+            )
+
+
 def _command_run(args: argparse.Namespace) -> int:
     probe, trace_recorder, metrics_registry = _probe_from_args(args)
     try:
@@ -353,7 +383,7 @@ def _command_run(args: argparse.Namespace) -> int:
             store.probe = probe
         result = run_scenario(spec, store=store, probe=probe)
     except (ValueError, KeyError, TypeError) as error:
-        print(f"error: {error}", file=sys.stderr)
+        _print_scenario_error(error)
         return 2
     except OSError as error:
         print(f"error: cannot read {args.config}: {error}", file=sys.stderr)
@@ -429,7 +459,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         )
         result = runner.run(sweep)
     except (ValueError, KeyError, TypeError) as error:
-        print(f"error: {error}", file=sys.stderr)
+        _print_scenario_error(error)
         return 2
     except OSError as error:
         print(f"error: cannot read {args.config}: {error}", file=sys.stderr)
@@ -493,6 +523,8 @@ def _command_cache(args: argparse.Namespace) -> int:
 
 
 def _command_list(args: argparse.Namespace) -> int:
+    if args.capabilities:
+        return _command_list_capabilities()
     rows = []
     for registry in (PROTOCOLS, ENVIRONMENTS, FAILURES, WORKLOADS, NETWORKS):
         for index, key in enumerate(sorted(registry.keys())):
@@ -500,6 +532,43 @@ def _command_list(args: argparse.Namespace) -> int:
     for index, key in enumerate(("events", "rounds")):
         rows.append(["engine" if index == 0 else "", key])
     print(render_table(["kind", "name"], rows))
+    return 0
+
+
+def _command_list_capabilities() -> int:
+    from repro.api.plan import capability_matrix
+
+    matrix = capability_matrix()
+    engines = matrix["engines"]
+    backends = matrix["backends"]
+    headers = ["protocol"] + [f"{engine}/{backend}" for engine in engines for backend in backends]
+    rows = []
+    reasons = []
+    for row in matrix["rows"]:
+        cells = [row["protocol"]]
+        for engine in engines:
+            for backend in backends:
+                cells.append(row["cells"][engine][backend])
+        rows.append(cells)
+        for engine in engines:
+            reason = row["reasons"].get(engine)
+            if reason:
+                reasons.append(f"  {row['protocol']} ({engine}): {reason}")
+    print(render_table(headers, rows))
+    print()
+    print(render_table(
+        ["vectorised kernel", "modes", "parameters", "topology"],
+        [
+            [kernel["kernel"], kernel["modes"], kernel["parameters"] or "-", kernel["topology"]]
+            for kernel in matrix["kernels"]
+        ],
+    ))
+    if reasons:
+        print("\nwhy not vectorised (first blocking feature per cell):")
+        print("\n".join(reasons))
+    print("\nnotes:")
+    for note in matrix["notes"]:
+        print(f"  - {note}")
     return 0
 
 

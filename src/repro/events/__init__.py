@@ -15,6 +15,7 @@ engine_params={...})`` — see DESIGN.md §11.
 from repro.events.calendar import DELIVER, MEMBERSHIP, SAMPLE, TICK, EventCalendar
 from repro.events.clocks import RATE_DISTRIBUTIONS, HostClock, draw_rate, make_clock
 from repro.events.engine import MASS_CHECK_MODES, EventSimulation
+from repro.events.vectorized import run_vectorized_events
 
 __all__ = [
     "DELIVER",
@@ -28,4 +29,5 @@ __all__ = [
     "TICK",
     "draw_rate",
     "make_clock",
+    "run_vectorized_events",
 ]

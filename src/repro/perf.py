@@ -68,9 +68,13 @@ AGENT_SIZE_CAPS = {
     "push-sum-revert-events": 2_000,
 }
 
-#: Rows that only the agent engine can run (the event engine has no
-#: vectorised counterpart, so no speedup column for these cells).
-AGENT_ONLY_PROTOCOLS = ("push-sum-revert-events",)
+#: Deprecated: rows that only the agent engine could run.  Backend
+#: eligibility is now derived per cell from
+#: :func:`repro.api.plan.resolve_plan` (see :func:`run_core_benchmark`),
+#: so new engine×backend combinations are benched automatically instead
+#: of being silently skipped by a hand-maintained set.  Kept (empty) for
+#: import compatibility.
+AGENT_ONLY_PROTOCOLS = ()
 
 #: Protocol cells timed by default: the two dynamic protocols on a perfect
 #: network, the lossy-network variant (Bernoulli loss exercises the
@@ -81,7 +85,8 @@ AGENT_ONLY_PROTOCOLS = ("push-sum-revert-events",)
 #: DESIGN.md §12), a trace-replay row (contact-trace gossip through the
 #: time-varying CSR with group-relative error), and an event-engine row
 #: (latency x exchange on the continuous-time calendar of
-#: :mod:`repro.events` — agent-only, tracking the calendar's cost).
+#: :mod:`repro.events` — timed on both the agent calendar and the
+#: bucketed vectorised calendar of :mod:`repro.events.vectorized`).
 DEFAULT_PROTOCOLS = (
     "push-sum-revert",
     "count-sketch-reset",
@@ -273,14 +278,19 @@ def run_core_benchmark(
         raise ValueError("sizes must be a non-empty sequence of populations >= 2")
 
     records: List[BenchRecord] = []
+    from repro.api.plan import resolve_plan
+
     for protocol in protocols:
         cap = AGENT_SIZE_CAPS.get(protocol, max(chosen_sizes))
         for n_hosts in chosen_sizes:
             agent_side = ["agent"] if n_hosts <= cap else []
-            if protocol in AGENT_ONLY_PROTOCOLS:
-                backends = agent_side
-            else:
+            # Plan-driven gating: a cell gets a vectorised row exactly when
+            # the capability layer would auto-resolve it to the fast path.
+            probe_spec = _bench_spec(protocol, n_hosts, rounds, "auto", seed)
+            if resolve_plan(probe_spec).backend == "vectorized":
                 backends = ["vectorized"] + agent_side
+            else:
+                backends = agent_side
             for backend in backends:
                 spec = _bench_spec(protocol, n_hosts, rounds, backend, seed)
                 times = _time_spec(spec, repeats)

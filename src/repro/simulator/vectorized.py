@@ -329,6 +329,10 @@ class VectorizedPushSumRevert(_ValueKernel):
         self.loss = float(loss)
         #: Conserved mass (weight) destroyed by lost messages so far.
         self.mass_lost = 0.0
+        #: Conserved mass (weight) created by reversion so far (the fixed
+        #: revert blends each host's weight towards 1, injecting mass the
+        #: event calendar's per-bucket ledger must account for).
+        self.mass_injected = 0.0
         #: Cumulative network delivery outcomes (non-self messages; one
         #: pairwise exchange counts as two, matching the agent engine).
         self.messages_delivered = 0
@@ -360,13 +364,152 @@ class VectorizedPushSumRevert(_ValueKernel):
         if self.mode != "full-transfer" and self.reversion > 0.0 and not adaptive_push:
             # (Adaptive push mode applies its per-indegree revert inside
             # _step_push, so the fixed revert is skipped for it.)
-            lam = self.reversion
-            self.weight[alive_idx] = lam + (1.0 - lam) * self.weight[alive_idx]
-            self.total[alive_idx] = (
-                lam * self.initial[alive_idx] + (1.0 - lam) * self.total[alive_idx]
-            )
+            self.revert_subset(alive_idx)
         self._refresh_last_estimates(alive_idx)
         self.round_index += 1
+
+    def revert_subset(self, host_idx: np.ndarray) -> None:
+        """Apply the fixed revert to ``host_idx`` (one tick's worth each).
+
+        Exactly the arithmetic the whole-population round step applies, so
+        calling it with the full alive index keeps :meth:`step` bit-identical;
+        the event calendar calls it with just the bucket's ticking hosts.
+        The injected weight is tallied in :attr:`mass_injected` so the
+        per-bucket mass ledger can balance its books.
+        """
+        lam = self.reversion
+        new_weight = lam + (1.0 - lam) * self.weight[host_idx]
+        self.mass_injected += float(new_weight.sum() - self.weight[host_idx].sum())
+        self.weight[host_idx] = new_weight
+        self.total[host_idx] = (
+            lam * self.initial[host_idx] + (1.0 - lam) * self.total[host_idx]
+        )
+
+    def merge_pairs(self, left: np.ndarray, right: np.ndarray) -> None:
+        """Atomic pairwise exchanges, serialised where endpoints collide.
+
+        ``(left[i], right[i])`` are exchange pairs whose endpoints may
+        repeat (the event calendar draws partners independently, unlike the
+        round engine's perfect matching).  Conflicting exchanges are
+        resolved in pair order: each pass takes every pair that is the
+        lowest-indexed remaining claimant of *both* its endpoints (those
+        are endpoint-disjoint, so their mean-merges commute), then repeats
+        on the rest.  Pass counts stay tiny in practice — collisions are
+        rare at gossip fan-out — and the lowest remaining pair is always
+        taken, so the loop terminates.
+        """
+        with self.probe.span("scatter"):
+            while left.size:
+                # One interleaved write in descending pair order, so the
+                # last (winning) write for any endpoint is its *lowest*
+                # claiming pair index across both sides — pair 0 always
+                # claims both its endpoints, guaranteeing progress.
+                claim = np.full(self.n, -1, dtype=np.int64)
+                rev = np.arange(left.size - 1, -1, -1)
+                endpoints = np.column_stack([left[rev], right[rev]]).ravel()
+                claim[endpoints] = np.repeat(rev, 2)
+                idx = np.arange(left.size)
+                take = (claim[left] == idx) & (claim[right] == idx)
+                a, b = left[take], right[take]
+                mean_weight = (self.weight[a] + self.weight[b]) / 2.0
+                mean_total = (self.total[a] + self.total[b]) / 2.0
+                self.weight[a] = mean_weight
+                self.weight[b] = mean_weight
+                self.total[a] = mean_total
+                self.total[b] = mean_total
+                left, right = left[~take], right[~take]
+
+    def emit_push(self, senders: np.ndarray):
+        """Split ``senders``' mass in half; return the outgoing halves.
+
+        The halves leave the senders immediately (they are now in flight);
+        the caller delivers them — instantly via :meth:`apply_deliveries`
+        or after a network delay.  ``senders`` must be unique live hosts.
+        """
+        outgoing_weight = self.weight[senders] / 2.0
+        outgoing_total = self.total[senders] / 2.0
+        self.weight[senders] = outgoing_weight
+        self.total[senders] = outgoing_total
+        return outgoing_weight, outgoing_total
+
+    def apply_deliveries(
+        self, targets: np.ndarray, weight: np.ndarray, total: np.ndarray
+    ) -> None:
+        """Scatter-add in-flight push halves into live ``targets``.
+
+        One ``np.add.at`` per mass array replaces one agent-engine DELIVER
+        event per message; duplicate targets accumulate, matching
+        sequential delivery order-independently (addition commutes).
+        """
+        with self.probe.span("scatter"):
+            np.add.at(self.weight, targets, weight)
+            np.add.at(self.total, targets, total)
+        # Duplicate targets are fine: the refresh is a plain fancy-index
+        # assignment, so deduplicating first would only cost a sort.
+        self._refresh_last_estimates(targets)
+
+    def step_subset(self, ticking: np.ndarray) -> None:
+        """One gossip tick for just ``ticking`` (unique live hosts).
+
+        The event calendar's bucketed drain: every host whose clock fires
+        in the current bucket gossips once, against partners drawn from the
+        *full* live population (non-ticking hosts can be pulled into an
+        exchange or receive a push, exactly as in the agent event engine).
+        Reversion applies per tick to the ticking hosts only.  Unlike
+        :meth:`step` this never bumps :attr:`round_index` — sample indices
+        are the calendar's business, not the kernel's.
+        """
+        if self.mode == "full-transfer":
+            raise ValueError("full-transfer mode has no subset step")
+        if self.adaptive:
+            raise ValueError("adaptive reversion has no subset step")
+        ticking = np.asarray(ticking, dtype=np.int64)
+        alive_idx = np.nonzero(self.alive)[0]
+        touched = ticking
+        if alive_idx.size >= 2 and ticking.size:
+            if self.mode == "pushpull":
+                with self.probe.span("sampling"):
+                    # Partner uniformly among the *other* live hosts: offset
+                    # the ticker's own position in the sorted live index by
+                    # 1..n_alive-1 (no self-exchanges, like the agent peer
+                    # sampler).
+                    pos = np.searchsorted(alive_idx, ticking)
+                    offset = self.rng.integers(1, alive_idx.size, size=ticking.size)
+                    partners = alive_idx[(pos + offset) % alive_idx.size]
+                left, right = ticking, partners
+                if self.loss > 0.0:
+                    kept = self.rng.random(left.size) >= self.loss
+                    dropped = int(left.size - int(kept.sum()))
+                    left = left[kept]
+                    right = right[kept]
+                    self.messages_lost += 2 * dropped
+                    self.bytes_sent += 16 * dropped
+                self.messages_delivered += 2 * int(left.size)
+                self.bytes_sent += 32 * int(left.size)
+                self.merge_pairs(left, right)
+                touched = np.concatenate([ticking, partners])
+            else:  # push
+                with self.probe.span("sampling"):
+                    targets = alive_idx[
+                        self.rng.integers(0, alive_idx.size, size=ticking.size)
+                    ]
+                self.bytes_sent += 16 * int(np.count_nonzero(targets != ticking))
+                outgoing_weight, outgoing_total = self.emit_push(ticking)
+                if self.loss > 0.0:
+                    kept = self.rng.random(ticking.size) >= self.loss
+                    self.mass_lost += float(outgoing_weight[~kept].sum())
+                    self.messages_lost += int(ticking.size - int(kept.sum()))
+                    targets = targets[kept]
+                    outgoing_weight = outgoing_weight[kept]
+                    outgoing_total = outgoing_total[kept]
+                self.messages_delivered += int(targets.size)
+                with self.probe.span("scatter"):
+                    np.add.at(self.weight, targets, outgoing_weight)
+                    np.add.at(self.total, targets, outgoing_total)
+                touched = np.concatenate([ticking, targets])
+        if self.reversion > 0.0 and ticking.size:
+            self.revert_subset(ticking)
+        self._refresh_last_estimates(touched)
 
     def _step_matching(self, alive_idx: np.ndarray) -> None:
         with self.probe.span("matching"):

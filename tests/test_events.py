@@ -389,16 +389,39 @@ class TestScenarioSpec:
         )
         assert ScenarioSpec.from_json(spec.to_json()) == spec
 
-    def test_vectorized_backend_rejects_events_and_auto_falls_back(self):
-        with pytest.raises(ValueError, match="vectorised"):
-            events_spec(backend="vectorized")
-        assert resolve_backend(events_spec(backend="auto")) == "agent"
+    def test_vectorized_backend_rejects_unvectorised_events_and_auto_falls_back(self):
+        # The bucketed calendar vectorises push-sum-revert only; any other
+        # protocol under engine="events" still needs the agent engine, with
+        # a structured (axis, feature, reason) rejection explaining why.
+        from repro.api.plan import PlanRejectionError, resolve_plan
+
+        agent_only = dict(
+            protocol="count-sketch-reset",
+            protocol_params={"bins": 8, "bits": 12},
+            workload="constant",
+        )
+        with pytest.raises(PlanRejectionError, match="event calendar") as excinfo:
+            events_spec(backend="vectorized", **agent_only)
+        rejection = excinfo.value.rejections[0]
+        assert rejection.axis == "protocol"
+        assert rejection.feature == "count-sketch-reset"
+        assert excinfo.value.nearest.backend == "agent"
+        assert resolve_backend(events_spec(backend="auto", **agent_only)) == "agent"
+        # ...whereas push-sum-revert over uniform gossip now auto-resolves
+        # to the vectorised calendar.
+        plan = resolve_plan(events_spec(backend="auto"))
+        assert (plan.engine, plan.backend) == ("events", "vectorized")
+        assert not plan.rejections
 
     def test_run_scenario_dispatches_to_the_event_engine(self):
         result = run_scenario(events_spec(backend="auto"))
-        assert result.metadata["backend"] == "agent"
+        assert result.metadata["backend"] == "vectorized"
         assert result.metadata["engine"]["name"] == "events"
         assert result.times() == [float(j) for j in range(1, 9)]
+        agent = run_scenario(events_spec(backend="agent"))
+        assert agent.metadata["backend"] == "agent"
+        assert agent.metadata["engine"]["name"] == "events"
+        assert agent.times() == result.times()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,227 @@
+"""Tests for the bucketed vectorised event calendar (repro.events.vectorized).
+
+Two guarantee tiers (DESIGN.md §14):
+
+* at the synchronization anchor — unit-rate synchronized clocks over an
+  instant network — the bucketed calendar degenerates to whole-population
+  kernel steps with identical RNG consumption, so it must match the round
+  engine's vectorised backend *bit for bit*;
+* away from the anchor (heterogeneous rates, latency, loss, membership)
+  the agent event engine and the bucketed calendar are distinct
+  realisations of the same stochastic process, so they must agree *in
+  distribution* across seeds, not per-record.
+"""
+
+import dataclasses
+import statistics
+
+import pytest
+
+from repro.api import ScenarioSpec, run_scenario
+from repro.network import MassConservationError
+
+SEEDS = tuple(range(8))
+
+
+def events_spec(**overrides):
+    base = dict(
+        protocol="push-sum-revert",
+        protocol_params={"reversion": 0.05},
+        n_hosts=64,
+        rounds=12,
+        seed=7,
+        engine="events",
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def record_dicts(result, drop=("time",)):
+    rows = []
+    for record in result.rounds:
+        row = dataclasses.asdict(record)
+        for key in drop:
+            row.pop(key)
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# The synchronization anchor: bit-identity with the round engine
+# ---------------------------------------------------------------------------
+class TestSyncAnchorBitIdentity:
+    """Synchronized unit-rate clocks + instant network == the round engine."""
+
+    def assert_bit_identical(self, **overrides):
+        events = run_scenario(events_spec(backend="vectorized", n_hosts=128,
+                                          rounds=10, **overrides))
+        rounds = run_scenario(events_spec(engine="rounds", engine_params={},
+                                          backend="vectorized", n_hosts=128,
+                                          rounds=10, **overrides))
+        assert events.metadata["backend"] == rounds.metadata["backend"] == "vectorized"
+        assert record_dicts(events) == record_dicts(rounds)
+        assert events.times() == [float(j) for j in range(1, 11)]
+        assert rounds.times() == [None] * 10
+
+    def test_perfect_network_exchange(self):
+        self.assert_bit_identical(mode="exchange")
+
+    def test_perfect_network_push(self):
+        self.assert_bit_identical(mode="push")
+
+    def test_mid_run_uncorrelated_failure(self):
+        self.assert_bit_identical(
+            mode="exchange",
+            events=({"event": "failure", "round": 5,
+                     "model": "uncorrelated", "fraction": 0.25},),
+        )
+
+    def test_bernoulli_loss(self):
+        self.assert_bit_identical(
+            mode="exchange", network="bernoulli-loss", network_params={"p": 0.2},
+        )
+
+    def test_same_seed_is_bit_deterministic_off_the_anchor(self):
+        kwargs = dict(
+            backend="vectorized", mode="exchange",
+            network="latency",
+            network_params={"distribution": "uniform", "low": 0, "high": 2},
+            engine_params={"rates": {"distribution": "heterogeneous",
+                                     "fast": 2.0, "slow": 0.25},
+                           "synchronized": False},
+        )
+        first = run_scenario(events_spec(**kwargs))
+        second = run_scenario(events_spec(**kwargs))
+        assert record_dicts(first, drop=()) == record_dicts(second, drop=())
+
+
+# ---------------------------------------------------------------------------
+# Away from the anchor: agreement with the agent event engine in distribution
+# ---------------------------------------------------------------------------
+SCENARIOS = {
+    "uniform-rates": {},
+    "heterogeneous-rates": {
+        "engine_params": {"rates": {"distribution": "heterogeneous",
+                                    "fast": 2.0, "slow": 0.25},
+                          "synchronized": False},
+    },
+    "lognormal-rates": {
+        "engine_params": {"rates": {"distribution": "lognormal", "sigma": 0.5},
+                          "synchronized": False},
+    },
+    "latency-exchange": {
+        "mode": "exchange",
+        "network": "latency",
+        "network_params": {"distribution": "uniform", "low": 0, "high": 2},
+    },
+    "loss": {
+        "network": "bernoulli-loss", "network_params": {"p": 0.2},
+    },
+    "departures": {
+        "events": ({"event": "failure", "round": 6,
+                    "model": "uncorrelated", "fraction": 0.25},),
+    },
+}
+
+
+class TestDistributionAgreement:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_agent_and_vectorized_agree_across_seeds(self, name):
+        overrides = SCENARIOS[name]
+        agent_first, agent_final = [], []
+        vector_first, vector_final = [], []
+        for seed in SEEDS:
+            agent = run_scenario(events_spec(backend="agent", seed=seed, **overrides))
+            vector = run_scenario(events_spec(backend="vectorized", seed=seed,
+                                              **overrides))
+            assert agent.metadata["backend"] == "agent"
+            assert vector.metadata["backend"] == "vectorized"
+            assert len(agent.rounds) == len(vector.rounds) == 12
+            # Same workload stream on both backends: identical populations
+            # (up to summation order in the truth reduction).
+            if "events" not in overrides:
+                assert agent.truths() == pytest.approx(vector.truths())
+            assert agent.alive_counts()[-1] == vector.alive_counts()[-1]
+            agent_first.append(agent.errors()[0])
+            agent_final.append(agent.final_error())
+            vector_first.append(vector.errors()[0])
+            vector_final.append(vector.final_error())
+        agent_mean = statistics.mean(agent_final)
+        vector_mean = statistics.mean(vector_final)
+        assert agent_mean > 0 and vector_mean > 0
+        # Both realisations must converge substantially...
+        assert agent_mean < 0.5 * statistics.mean(agent_first)
+        assert vector_mean < 0.5 * statistics.mean(vector_first)
+        # ...and land within an order of magnitude of each other.  The
+        # band is wide by design: the kernel serializes conflicting
+        # exchanges (first-claim) where the agent calendar runs them all,
+        # a per-round rate difference that compounds exponentially over
+        # the 12 sampled intervals.
+        ratio = vector_mean / agent_mean
+        assert 0.1 < ratio < 10.0, (name, agent_final, vector_final)
+
+
+# ---------------------------------------------------------------------------
+# Membership, quantum control and mass conservation
+# ---------------------------------------------------------------------------
+class TestBucketedCalendarMechanics:
+    def test_joins_grow_the_population(self):
+        result = run_scenario(events_spec(
+            backend="vectorized", n_hosts=32,
+            events=({"event": "join", "round": 4, "count": 16},),
+        ))
+        counts = result.alive_counts()
+        assert counts[2] == 32 and counts[-1] == 48
+
+    def test_batch_quantum_is_configurable_and_recorded(self):
+        result = run_scenario(events_spec(
+            backend="vectorized", engine_params={"batch_quantum": 0.5},
+        ))
+        assert result.metadata["engine"]["batch_quantum"] == 0.5
+        assert len(result.rounds) == 12
+
+    def test_bad_batch_quantum_is_rejected_eagerly(self):
+        for bad in (0, -1.0, True, "fast"):
+            with pytest.raises(ValueError, match="batch_quantum"):
+                events_spec(engine_params={"batch_quantum": bad})
+
+    def test_quantum_choice_does_not_change_the_samples_at_the_anchor(self):
+        # At the sync anchor every tick lands on the unit grid, so any
+        # quantum that divides the sample interval buckets the same ticks
+        # together and the records cannot move.
+        reference = run_scenario(events_spec(backend="vectorized"))
+        halved = run_scenario(events_spec(
+            backend="vectorized", engine_params={"batch_quantum": 0.5},
+        ))
+        assert record_dicts(reference) == record_dicts(halved)
+
+    def test_mass_violation_is_caught_per_bucket(self, monkeypatch):
+        # A kernel that silently halves every delivered parcel must trip
+        # the per-bucket ledger check, not sail through to the final
+        # sample with a drifted truth.
+        from repro.simulator.vectorized import VectorizedPushSumRevert
+
+        original = VectorizedPushSumRevert.apply_deliveries
+
+        def leaky(self, targets, weight, total):
+            return original(self, targets, weight * 0.5, total)
+
+        monkeypatch.setattr(VectorizedPushSumRevert, "apply_deliveries", leaky)
+        spec = events_spec(
+            backend="vectorized", mode="push",
+            network="latency",
+            network_params={"distribution": "fixed", "delay": 1},
+            engine_params={"mass_check": "event"},
+        )
+        with pytest.raises(MassConservationError):
+            run_scenario(spec)
+
+    def test_mass_checks_pass_on_honest_runs(self):
+        for params in ({"mass_check": "event"}, {"mass_check": "sample"}):
+            result = run_scenario(events_spec(
+                backend="vectorized", mode="push",
+                network="latency",
+                network_params={"distribution": "fixed", "delay": 1},
+                engine_params=params,
+            ))
+            assert len(result.rounds) == 12

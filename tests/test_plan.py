@@ -1,0 +1,298 @@
+"""Tests for the execution-plan capability layer (repro.api.plan)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import ScenarioSpec, run_scenario
+from repro.api.backends import BACKENDS, VectorizedBackend
+from repro.api.plan import (
+    ExecutionPlan,
+    PlanRejectionError,
+    Rejection,
+    capability_matrix,
+    resolve_plan,
+    vectorized_rejections,
+)
+
+
+def make_spec(**overrides):
+    base = dict(protocol="push-sum-revert", n_hosts=32, rounds=4)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+# ---------------------------------------------------------------------------
+# resolve_plan
+# ---------------------------------------------------------------------------
+class TestResolvePlan:
+    def test_clean_spec_resolves_vectorized(self):
+        plan = resolve_plan(make_spec())
+        assert (plan.engine, plan.backend) == ("rounds", "vectorized")
+        assert plan.rejections == ()
+        assert plan.reasons == []
+        assert plan.runnable
+        assert plan.nearest_runnable() is plan
+
+    def test_rejected_auto_spec_falls_back_to_agent(self):
+        plan = resolve_plan(make_spec(protocol="invert-average"))
+        assert (plan.engine, plan.backend) == ("rounds", "agent")
+        assert plan.rejections and plan.runnable
+
+    def test_events_engine_is_carried_through(self):
+        plan = resolve_plan(make_spec(engine="events"))
+        assert (plan.engine, plan.backend) == ("events", "vectorized")
+        agent_plan = resolve_plan(make_spec(engine="events", protocol="push-sum"))
+        assert (agent_plan.engine, agent_plan.backend) == ("events", "agent")
+
+    def test_explicit_backends_are_kept_as_requested(self):
+        assert resolve_plan(make_spec(backend="agent")).backend == "agent"
+        assert resolve_plan(make_spec(backend="vectorized")).backend == "vectorized"
+
+    def test_resolve_plan_never_raises_for_auto(self):
+        # Every rejection-carrying auto spec still resolves (to the agent
+        # engine) instead of raising.
+        for overrides in (
+            {"protocol": "invert-average"},
+            {"group_relative": True},
+            {"network": "latency", "mode": "push"},
+            {"engine": "events", "protocol": "extrema-gossip", "mode": "exchange"},
+        ):
+            plan = resolve_plan(make_spec(**overrides))
+            assert plan.backend == "agent" and plan.runnable
+
+    def test_unrunnable_plan_and_nearest(self):
+        rejection = Rejection("mode", "push", "not in this mode")
+        plan = ExecutionPlan("rounds", "vectorized", (rejection,))
+        assert not plan.runnable
+        nearest = plan.nearest_runnable()
+        assert nearest == ExecutionPlan("rounds", "agent", (rejection,))
+        assert nearest.runnable
+
+    def test_run_scenario_dispatches_through_the_plan(self):
+        spec = make_spec(rounds=3)
+        result = run_scenario(spec)
+        assert result.metadata["backend"] == resolve_plan(spec).backend == "vectorized"
+
+
+# ---------------------------------------------------------------------------
+# Rejection paths: round engine
+# ---------------------------------------------------------------------------
+ROUNDS_REJECTIONS = [
+    pytest.param(
+        dict(protocol="push-sum-revert-full-transfer", environment="ring", mode="push"),
+        "environment", "uniform gossip", id="full-transfer-on-topology",
+    ),
+    pytest.param(
+        dict(environment="trace", environment_params={"dataset": 1, "broadcast": True},
+             n_hosts=9),
+        "environment", "broadcast trace", id="broadcast-trace",
+    ),
+    pytest.param(
+        dict(group_relative=True),
+        "accounting", "environment that defines groups", id="group-relative-uniform",
+    ),
+    pytest.param(
+        dict(protocol="invert-average"),
+        "protocol", "no vectorised kernel", id="no-kernel",
+    ),
+    pytest.param(
+        dict(protocol="extrema-gossip", mode="push"),
+        "mode", "only vectorised in mode", id="unsupported-mode",
+    ),
+    pytest.param(
+        dict(protocol_params={"weight_epsilon": 1e-9}),
+        "protocol", "weight_epsilon", id="unknown-kernel-parameter",
+    ),
+    pytest.param(
+        dict(network="latency", mode="push",
+             network_params={"distribution": "fixed", "delay": 1}),
+        "network", "'perfect' and 'bernoulli-loss' only", id="latency-network",
+    ),
+    pytest.param(
+        dict(protocol="sketch-count", workload="constant",
+             network="bernoulli-loss", network_params={"p": 0.1}),
+        "network", "only vectorised for", id="loss-on-counting-kernel",
+    ),
+    pytest.param(
+        dict(events=({"event": "failure", "round": 2, "model": "bernoulli", "p": 0.1},)),
+        "events", "failure model 'bernoulli'", id="bernoulli-failure",
+    ),
+    pytest.param(
+        dict(protocol="count-sketch-reset", protocol_params={"bins": 8, "bits": 12},
+             workload="constant",
+             events=({"event": "value-change", "round": 2, "values": {"0": 2.0}},)),
+        "events", "value-change", id="value-change-on-counting-kernel",
+    ),
+    pytest.param(
+        dict(environment="ring", events=({"event": "join", "round": 2, "count": 4},)),
+        "events", "only vectorised under uniform gossip", id="join-on-topology",
+    ),
+    pytest.param(
+        dict(environment="ring",
+             events=({"event": "churn", "start": 1, "stop": 3,
+                      "model": "uncorrelated", "fraction": 0.01,
+                      "arrivals_per_round": 2},)),
+        "events", "churn with arrivals", id="churn-arrivals-on-topology",
+    ),
+    pytest.param(
+        dict(events=({"event": "churn", "start": 1, "stop": 3,
+                      "model": "bernoulli", "p": 0.1},)),
+        "events", "churn failure model 'bernoulli'", id="churn-bernoulli",
+    ),
+]
+
+
+class TestRoundEngineRejections:
+    @pytest.mark.parametrize("overrides, axis, needle", ROUNDS_REJECTIONS)
+    def test_rejection_axis_and_reason(self, overrides, axis, needle):
+        spec = make_spec(**overrides)
+        rejections = vectorized_rejections(spec)
+        assert rejections, overrides
+        hits = [r for r in rejections if r.axis == axis and needle in r.reason]
+        assert hits, [f"{r.axis}: {r.reason}" for r in rejections]
+        assert resolve_plan(spec).backend == "agent"
+
+    @pytest.mark.parametrize("overrides, axis, needle", ROUNDS_REJECTIONS)
+    def test_explicit_vectorized_request_raises_structured(self, overrides, axis, needle):
+        with pytest.raises(PlanRejectionError) as excinfo:
+            make_spec(backend="vectorized", **overrides)
+        error = excinfo.value
+        assert isinstance(error, ValueError)  # legacy except-clauses keep working
+        assert error.rejections
+        assert needle in str(error)
+        assert error.nearest is not None and error.nearest.backend == "agent"
+
+    def test_all_rejections_are_collected_not_just_the_first(self):
+        spec = make_spec(
+            protocol="push-sum-revert-full-transfer", environment="ring", mode="push",
+            events=({"event": "join", "round": 2, "count": 4},),
+        )
+        axes = [r.axis for r in vectorized_rejections(spec)]
+        assert "environment" in axes and "events" in axes
+        assert len(axes) >= 2
+
+    def test_paths_unreachable_from_validated_specs(self):
+        # Unknown environments and event kinds are rejected eagerly by
+        # ScenarioSpec itself, but the capability layer must still answer
+        # for duck-typed specs (it is consulted before spec validation in
+        # some embedding scenarios).
+        fake = SimpleNamespace(
+            engine="rounds", protocol="push-sum-revert", protocol_params={},
+            environment="mesh", environment_params={}, group_relative=False,
+            network="perfect", mode="exchange",
+            events=({"event": "reshuffle"},),
+        )
+        rejections = vectorized_rejections(fake)
+        axes = {r.axis for r in rejections}
+        assert "environment" in axes
+        assert any(r.axis == "events" and "reshuffle" in r.reason for r in rejections)
+
+
+# ---------------------------------------------------------------------------
+# Rejection paths: event engine (the bucketed calendar)
+# ---------------------------------------------------------------------------
+EVENTS_REJECTIONS = [
+    pytest.param(
+        dict(protocol="sketch-count", workload="constant"),
+        "protocol", "event calendar is only vectorised", id="protocol-not-psr",
+    ),
+    pytest.param(
+        dict(environment="ring"),
+        "environment", "uniform gossip only", id="topology-under-events",
+    ),
+    pytest.param(
+        dict(group_relative=True),
+        "accounting", "environment that defines groups", id="group-relative",
+    ),
+    pytest.param(
+        dict(network="bandwidth-cap", network_params={"bytes_per_round": 64}),
+        "network", "not vectorised under engine='events'", id="bandwidth-cap",
+    ),
+    pytest.param(
+        dict(protocol_params={"reversion": 0.1, "adaptive": True}),
+        "protocol", "indegree-adaptive", id="adaptive-reversion",
+    ),
+    pytest.param(
+        dict(events=({"event": "failure", "round": 2, "model": "bernoulli", "p": 0.1},)),
+        "events", "failure model 'bernoulli'", id="bernoulli-failure",
+    ),
+]
+
+
+class TestEventEngineRejections:
+    @pytest.mark.parametrize("overrides, axis, needle", EVENTS_REJECTIONS)
+    def test_rejection_axis_and_reason(self, overrides, axis, needle):
+        spec = make_spec(engine="events", **overrides)
+        rejections = vectorized_rejections(spec)
+        hits = [r for r in rejections if r.axis == axis and needle in r.reason]
+        assert hits, [f"{r.axis}: {r.reason}" for r in rejections]
+        assert resolve_plan(spec).backend == "agent"
+
+    def test_supported_events_scenarios_have_no_rejections(self):
+        for overrides in (
+            {},
+            {"network": "latency",
+             "network_params": {"distribution": "uniform", "low": 0, "high": 2},
+             "mode": "exchange"},
+            {"network": "bernoulli-loss", "network_params": {"p": 0.2}},
+            {"events": ({"event": "join", "round": 2, "count": 4},)},
+            {"engine_params": {"rates": {"distribution": "lognormal"},
+                               "synchronized": False}},
+        ):
+            spec = make_spec(engine="events", **overrides)
+            assert vectorized_rejections(spec) == [], overrides
+
+
+# ---------------------------------------------------------------------------
+# The deprecated supports() shim
+# ---------------------------------------------------------------------------
+class TestSupportsShim:
+    def test_supports_none_for_clean_specs(self):
+        backend = BACKENDS.get("vectorized")
+        assert isinstance(backend, VectorizedBackend)
+        assert backend.supports(make_spec()) is None
+
+    def test_supports_returns_the_first_rejection_reason(self):
+        backend = BACKENDS.get("vectorized")
+        spec = make_spec(protocol="invert-average")
+        assert backend.supports(spec) == vectorized_rejections(spec)[0].reason
+
+
+# ---------------------------------------------------------------------------
+# capability_matrix
+# ---------------------------------------------------------------------------
+class TestCapabilityMatrix:
+    def test_matrix_shape_and_registry_coverage(self):
+        from repro.api import PROTOCOLS
+
+        matrix = capability_matrix()
+        assert matrix["engines"] == ("rounds", "events")
+        assert matrix["backends"] == ("agent", "vectorized")
+        assert [row["protocol"] for row in matrix["rows"]] == sorted(PROTOCOLS.keys())
+
+    def test_push_sum_revert_is_vectorised_everywhere(self):
+        matrix = capability_matrix()
+        row = next(r for r in matrix["rows"] if r["protocol"] == "push-sum-revert")
+        for engine in ("rounds", "events"):
+            assert row["cells"][engine] == {"agent": "yes", "vectorized": "yes"}
+        assert row["reasons"] == {}
+
+    def test_agent_only_rows_carry_a_reason(self):
+        matrix = capability_matrix()
+        row = next(r for r in matrix["rows"] if r["protocol"] == "invert-average")
+        assert row["cells"]["rounds"]["vectorized"] == "no"
+        assert row["cells"]["rounds"]["agent"] == "yes"
+        assert "no vectorised kernel" in row["reasons"]["rounds"]
+        # Vectorised under rounds, but not yet on the bucketed calendar.
+        sketch = next(r for r in matrix["rows"] if r["protocol"] == "sketch-count")
+        assert sketch["cells"]["rounds"]["vectorized"] == "yes"
+        assert sketch["cells"]["events"]["vectorized"] == "no"
+        assert "event calendar" in sketch["reasons"]["events"]
+
+    def test_kernel_and_notes_sections(self):
+        matrix = capability_matrix()
+        kernels = {entry["kernel"]: entry for entry in matrix["kernels"]}
+        assert kernels["push-sum-revert"]["modes"] == "exchange/push"
+        assert kernels["push-sum-revert-full-transfer"]["topology"] == "uniform-only"
+        assert len(matrix["notes"]) == 4
